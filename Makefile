@@ -1,0 +1,46 @@
+# XMem reproduction build targets. Everything is stdlib-only Go; the
+# Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments experiments-paper \
+        examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every figure/table at the fast preset (minutes).
+experiments:
+	$(GO) run ./cmd/xmem-bench -preset fast -exp all -json results_fast.json | tee results_fast.txt
+	$(GO) run ./cmd/xmem-bench -preset fast -exp numa | tee results_ext.txt
+	$(GO) run ./cmd/xmem-bench -preset fast -exp ablation | tee -a results_ext.txt
+	$(GO) run ./cmd/xmem-bench -preset fast -exp corun -kernels gemm,2mm,jacobi-2d | tee -a results_ext.txt
+
+# Table 3 scale (hours).
+experiments-paper:
+	$(GO) run ./cmd/xmem-bench -preset paper -exp all -json results_paper.json | tee results_paper.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/compression
+	$(GO) run ./examples/profiling
+	$(GO) run ./examples/dramplacement
+	$(GO) run ./examples/hashjoin
+	$(GO) run ./examples/tiling
+
+clean:
+	$(GO) clean ./...

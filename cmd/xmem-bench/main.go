@@ -1,0 +1,162 @@
+// Command xmem-bench regenerates the paper's evaluation: one sub-experiment
+// per table/figure (Figures 4-8, the §4.2 ALB coverage measurement, and the
+// §4.4 overhead analysis).
+//
+// Usage:
+//
+//	xmem-bench [-preset mini|fast|paper] [-exp all|fig4|fig5|fig6|fig7|fig8|alb|overhead]
+//	           [-kernels gemm,2mm] [-workloads libq,mcf] [-v]
+//
+// The fast preset (default) runs the full kernel and workload lists at
+// 8×-reduced scale; paper approaches Table 3 scale (hours). See
+// EXPERIMENTS.md for recorded outputs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xmem/internal/experiments"
+)
+
+func main() {
+	var (
+		presetName = flag.String("preset", "fast", "scale preset: mini, fast, or paper")
+		exp        = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, fig7, fig8, alb, overhead, hybrid, numa, ablation, corun (the last three are not part of all)")
+		kernels    = flag.String("kernels", "", "comma-separated kernel filter for use case 1")
+		workloads  = flag.String("workloads", "", "comma-separated workload filter for use case 2")
+		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
+		jsonPath   = flag.String("json", "", "also write all computed results as JSON to this file")
+	)
+	flag.Parse()
+
+	preset, ok := experiments.PresetByName(*presetName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xmem-bench: unknown preset %q\n", *presetName)
+		os.Exit(2)
+	}
+	if *kernels != "" {
+		preset.UC1Kernels = strings.Split(*kernels, ",")
+	}
+	if *workloads != "" {
+		preset.UC2Workloads = strings.Split(*workloads, ",")
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	out := os.Stdout
+
+	want := func(name string) bool {
+		if *exp == "all" {
+			return true
+		}
+		for _, e := range strings.Split(*exp, ",") {
+			if e == name {
+				return true
+			}
+		}
+		return false
+	}
+	ran := false
+	jsonOut := map[string]interface{}{}
+
+	var fig4 *experiments.Fig4Result
+	if want("fig4") || want("fig5") {
+		res := experiments.RunFig4(preset, progress)
+		fig4 = &res
+		if want("fig4") {
+			res.Print(out)
+			fmt.Fprintln(out)
+			jsonOut["fig4"] = res
+			ran = true
+		}
+	}
+	if want("fig5") {
+		res := experiments.RunFig5(preset, fig4, progress)
+		res.Print(out)
+		fmt.Fprintln(out)
+		jsonOut["fig5"] = res
+		ran = true
+	}
+	if want("fig6") {
+		res := experiments.RunFig6(preset, progress)
+		res.Print(out)
+		fmt.Fprintln(out)
+		jsonOut["fig6"] = res
+		ran = true
+	}
+	if want("fig7") || want("fig8") {
+		res := experiments.RunFig7(preset, progress)
+		if want("fig7") {
+			res.Print(out)
+			fmt.Fprintln(out)
+		}
+		if want("fig8") {
+			res.PrintFig8(out)
+			fmt.Fprintln(out)
+		}
+		jsonOut["fig7"] = res
+		ran = true
+	}
+	if want("alb") {
+		res := experiments.RunALB(preset, progress)
+		res.Print(out)
+		fmt.Fprintln(out)
+		jsonOut["alb"] = res
+		ran = true
+	}
+	if want("overhead") {
+		res := experiments.RunOverhead(preset, progress)
+		res.Print(out)
+		fmt.Fprintln(out)
+		jsonOut["overhead"] = res
+		ran = true
+	}
+	if want("hybrid") {
+		res := experiments.RunHybrid(preset, progress)
+		res.Print(out)
+		fmt.Fprintln(out)
+		jsonOut["hybrid"] = res
+		ran = true
+	}
+	if want("numa") && *exp != "all" {
+		res := experiments.RunNuma(preset, progress)
+		res.Print(out)
+		fmt.Fprintln(out)
+		jsonOut["numa"] = res
+		ran = true
+	}
+	if want("ablation") && *exp != "all" {
+		res := experiments.RunAblation(preset, progress)
+		res.Print(out)
+		fmt.Fprintln(out)
+		jsonOut["ablation"] = res
+		ran = true
+	}
+	if want("corun") && *exp != "all" {
+		res := experiments.RunCorun(preset, progress)
+		res.Print(out)
+		fmt.Fprintln(out)
+		jsonOut["corun"] = res
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "xmem-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(jsonOut, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmem-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+}

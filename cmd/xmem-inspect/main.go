@@ -1,0 +1,132 @@
+// Command xmem-inspect shows what a program expresses through XMem without
+// running a simulation: the atom segment a workload's CREATE sites would be
+// summarized into (§3.5.2), its decoded attributes, and the per-component
+// translated views (cache / prefetcher / memory-controller PATs, §4.2).
+//
+// Usage:
+//
+//	xmem-inspect -workload gemm            # dump gemm's atoms + PATs
+//	xmem-inspect -workload libq -segment   # hex-dump the encoded segment
+//	xmem-inspect -placement libq -banks 8  # show the §6.2 bank assignment
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"xmem/internal/compress"
+	xm "xmem/internal/core"
+	"xmem/internal/kernel"
+	"xmem/internal/workload"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "", "workload whose atoms to inspect")
+		segment   = flag.Bool("segment", false, "hex-dump the encoded atom segment")
+		placement = flag.String("placement", "", "workload whose §6.2 DRAM placement to show")
+		banks     = flag.Int("banks", 8, "bank groups for -placement")
+	)
+	flag.Parse()
+
+	switch {
+	case *name != "":
+		atoms, err := declaredAtoms(*name)
+		if err != nil {
+			fail(err)
+		}
+		dumpAtoms(atoms, *segment)
+	case *placement != "":
+		atoms, err := declaredAtoms(*placement)
+		if err != nil {
+			fail(err)
+		}
+		dumpPlacement(atoms, *banks)
+	default:
+		fmt.Println("available workloads:")
+		for _, k := range workload.KernelNames() {
+			fmt.Printf("  %s (use case 1)\n", k)
+		}
+		for _, s := range workload.SuiteNames() {
+			fmt.Printf("  %s (use case 2)\n", s)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "xmem-inspect: %v\n", err)
+	os.Exit(1)
+}
+
+func declaredAtoms(name string) ([]xm.Atom, error) {
+	var w workload.Workload
+	found := false
+	for _, k := range workload.AllKernels() {
+		if k.Name == name {
+			w = k.Make(workload.TiledConfig{N: 64, TileBytes: 8 << 10})
+			found = true
+		}
+	}
+	if !found {
+		for _, spec := range workload.Suite27() {
+			if spec.Name == name {
+				w = workload.Synthetic(spec)
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	lib := xm.NewLib(nil)
+	w.Declare(lib)
+	return lib.Atoms(), nil
+}
+
+func dumpAtoms(atoms []xm.Atom, hexdump bool) {
+	fmt.Printf("atom segment: %d atoms, version %d, %d bytes encoded\n\n",
+		len(atoms), xm.SegmentVersion, len(xm.EncodeSegment(atoms)))
+	for _, a := range atoms {
+		fmt.Printf("  %s\n", a)
+	}
+	gat := xm.NewGAT()
+	gat.LoadAtoms(atoms)
+	cpat := xm.TranslateCache(gat)
+	ppat := xm.TranslatePrefetch(gat)
+	mpat := xm.TranslateMemCtl(gat)
+	zpat := compress.Translate(gat)
+	fmt.Printf("\ntranslated private attribute tables (§4.2):\n")
+	fmt.Printf("  %-4s %-24s %-28s %-28s %-28s %s\n", "id", "name", "cache", "prefetcher", "memctl", "compression")
+	for _, a := range atoms {
+		c, _ := cpat.Lookup(a.ID)
+		p, _ := ppat.Lookup(a.ID)
+		m, _ := mpat.Lookup(a.ID)
+		fmt.Printf("  %-4d %-24s pin=%-5v bypass=%-5v r=%-3d  pf=%-5v stride=%-4d lines    highRBL=%-5v irr=%-5v i=%-3d  %v\n",
+			a.ID, a.Name, c.PinCandidate, c.Bypass, c.Reuse,
+			p.Prefetchable, p.StrideLines, m.HighRBL, m.Irregular, m.Intensity,
+			zpat.Lookup(a.ID))
+	}
+	if hexdump {
+		fmt.Printf("\n%s", hex.Dump(xm.EncodeSegment(atoms)))
+	}
+}
+
+func dumpPlacement(atoms []xm.Atom, banks int) {
+	p := kernel.NewXMemPlacement(atoms, banks)
+	fmt.Printf("§6.2 placement over %d bank groups:\n\n", banks)
+	iso := map[xm.AtomID]bool{}
+	for _, id := range p.IsolatedAtoms() {
+		iso[id] = true
+	}
+	for _, a := range atoms {
+		banks := p.PreferredBanks(a.ID)
+		kind := "shared pool"
+		if iso[a.ID] {
+			kind = "ISOLATED"
+		}
+		fmt.Printf("  %-24s %-12s banks=%v\n", a.Name, kind, banks)
+	}
+	fmt.Printf("\nshared pool: %v\n", p.SharedBanks())
+}

@@ -1,0 +1,124 @@
+// Command xmem-sim runs a single workload on a single machine configuration
+// and dumps the full result: cycles, IPC, per-level cache statistics, DRAM
+// row-buffer behaviour, and XMem (AMU/ALB/library) counters.
+//
+// Usage:
+//
+//	xmem-sim -workload gemm -n 256 -tile 131072 -l3 262144 -system xmem
+//	xmem-sim -workload libq -scale 0.3 -alloc xmem -scheme ro:ra:ba:co:ch
+//
+// Use-case-1 kernels are selected by kernel name (-tile applies); use-case-2
+// synthetic workloads by suite name (-scale applies).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmem/internal/dram"
+	"xmem/internal/sim"
+	"xmem/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "gemm", "kernel or synthetic workload name (list: -list)")
+		list   = flag.Bool("list", false, "list available workloads and exit")
+		n      = flag.Int("n", 256, "kernel matrix dimension")
+		tile   = flag.Uint64("tile", 128<<10, "kernel tile size in bytes")
+		steps  = flag.Int("steps", 6, "stencil time steps per tile")
+		scale  = flag.Float64("scale", 0.3, "synthetic workload scale factor")
+		l3     = flag.Uint64("l3", 256<<10, "L3 capacity in bytes")
+		system = flag.String("system", "baseline", "baseline, xmem, or xmem-pref")
+		alloc  = flag.String("alloc", "sequential", "frame allocator: sequential, random, xmem")
+		scheme = flag.String("scheme", "ro:ra:ba:co:ch", "DRAM address mapping scheme")
+		ideal  = flag.Bool("ideal-rbl", false, "perfect row-buffer locality")
+		bwCore = flag.Float64("bw", 2.1e9, "per-core DRAM bandwidth in bytes/s (0 = full channel bandwidth)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("use case 1 kernels:  ", strings.Join(workload.KernelNames(), " "))
+		fmt.Println("use case 2 workloads:", strings.Join(workload.SuiteNames(), " "))
+		fmt.Println("mapping schemes:     ", strings.Join(dram.SchemeNames(), " "))
+		return
+	}
+
+	w, err := resolveWorkload(*name, *n, *tile, *steps, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmem-sim: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := sim.FastConfig(*l3)
+	cfg.Scheme = *scheme
+	cfg.Alloc = sim.AllocPolicy(*alloc)
+	cfg.AllocSeed = 42
+	cfg.IdealRBL = *ideal
+	if *bwCore > 0 {
+		cfg = cfg.WithUseCase1Bandwidth(*bwCore)
+	}
+	switch *system {
+	case "baseline":
+	case "xmem":
+		cfg.XMemCache = true
+	case "xmem-pref":
+		cfg.XMemPrefetchOnly = true
+	default:
+		fmt.Fprintf(os.Stderr, "xmem-sim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	res, err := sim.Run(cfg, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmem-sim: %v\n", err)
+		os.Exit(1)
+	}
+	printResult(res)
+}
+
+func resolveWorkload(name string, n int, tile uint64, steps int, scale float64) (workload.Workload, error) {
+	for _, k := range workload.AllKernels() {
+		if k.Name == name {
+			return k.Make(workload.TiledConfig{N: n, TileBytes: tile, Steps: steps}), nil
+		}
+	}
+	for _, spec := range workload.Suite27() {
+		if spec.Name == name {
+			return workload.Synthetic(spec.Scaled(scale)), nil
+		}
+	}
+	return workload.Workload{}, fmt.Errorf("unknown workload %q (try -list)", name)
+}
+
+func printResult(r sim.Result) {
+	fmt.Printf("workload        %s\n", r.Workload)
+	fmt.Printf("cycles          %d\n", r.Cycles)
+	fmt.Printf("instructions    %d\n", r.Instructions)
+	fmt.Printf("IPC             %.3f\n", r.IPC)
+	fmt.Printf("L3 MPKI         %.2f\n", r.L3MPKI)
+	fmt.Printf("\ncaches          hits      misses    missrate  writebacks\n")
+	fmt.Printf("  L1D   %12d %10d   %6.2f%%  %10d\n", r.L1D.Hits, r.L1D.Misses, 100*r.L1D.DemandMissRate(), r.L1D.Writebacks)
+	fmt.Printf("  L2    %12d %10d   %6.2f%%  %10d\n", r.L2.Hits, r.L2.Misses, 100*r.L2.DemandMissRate(), r.L2.Writebacks)
+	fmt.Printf("  L3    %12d %10d   %6.2f%%  %10d\n", r.L3.Hits, r.L3.Misses, 100*r.L3.DemandMissRate(), r.L3.Writebacks)
+	fmt.Printf("  L3 prefetch: fills %d, delayed hits %d, pin inserts %d\n",
+		r.L3.PrefetchFills, r.L3.DelayedHits, r.L3.PinInserts)
+	fmt.Printf("\nDRAM            reads %d  writes %d  row-hit %.1f%%\n",
+		r.DRAM.Reads, r.DRAM.Writes, 100*r.DRAM.RowHitRate())
+	fmt.Printf("  read latency  %.0f cycles avg (demand)\n", r.DRAM.AvgDemandReadLatency())
+	fmt.Printf("  write latency %.0f cycles avg\n", r.DRAM.AvgWriteLatency())
+	fmt.Printf("\nXMem            ops %d (map %d, activate %d)  lookups %d  ALB hit %.2f%%\n",
+		r.Lib.RuntimeOps, r.AMU.MapOps+r.AMU.UnmapOps,
+		r.AMU.ActivateOps+r.AMU.DeactivateOps, r.AMU.Lookups, 100*r.ALBHitRate)
+	fmt.Printf("  instruction overhead %.5f%%\n",
+		100*float64(r.Lib.Instructions)/float64(max64(r.Instructions, 1)))
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

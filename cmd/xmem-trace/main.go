@@ -1,0 +1,160 @@
+// Command xmem-trace records, inspects, profiles, and replays memory access
+// traces.
+//
+//	xmem-trace record -workload gemm -n 64 -tile 8192 -o gemm.trc
+//	xmem-trace info -i gemm.trc
+//	xmem-trace profile -i gemm.trc          # infer atom attributes (§3.5.1 profiling channel)
+//	xmem-trace replay -i gemm.trc -l3 262144 -system xmem
+//
+// The profile subcommand is the paper's third expression channel: for code
+// that carries no annotations, a profiling run derives the attributes and
+// emits the same atom segment the programmer or compiler would have.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmem/internal/sim"
+	"xmem/internal/trace"
+	"xmem/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "profile":
+		cmdProfile(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xmem-trace {record|info|profile|replay} [flags]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "xmem-trace: %v\n", err)
+	os.Exit(1)
+}
+
+func loadTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	t, err := trace.Read(f)
+	if err != nil {
+		fail(err)
+	}
+	return t
+}
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	name := fs.String("workload", "gemm", "workload name")
+	n := fs.Int("n", 64, "kernel dimension")
+	tile := fs.Uint64("tile", 8192, "kernel tile bytes")
+	steps := fs.Int("steps", 4, "stencil steps")
+	scale := fs.Float64("scale", 0.05, "synthetic workload scale")
+	out := fs.String("o", "", "output trace file")
+	fs.Parse(args)
+	if *out == "" {
+		fail(fmt.Errorf("record needs -o"))
+	}
+	w, err := findWorkload(*name, *n, *tile, *steps, *scale)
+	if err != nil {
+		fail(err)
+	}
+	t := trace.Record(w)
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("recorded %d events (%d accesses, %d KB footprint) to %s\n",
+		len(t.Events), t.Accesses(), t.FootprintBytes()>>10, *out)
+}
+
+func findWorkload(name string, n int, tile uint64, steps int, scale float64) (workload.Workload, error) {
+	for _, k := range workload.AllKernels() {
+		if k.Name == name {
+			return k.Make(workload.TiledConfig{N: n, TileBytes: tile, Steps: steps}), nil
+		}
+	}
+	for _, s := range workload.Suite27() {
+		if s.Name == name {
+			return workload.Synthetic(s.Scaled(scale)), nil
+		}
+	}
+	return workload.Workload{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	fs.Parse(args)
+	t := loadTrace(*in)
+	fmt.Printf("events:    %d\n", len(t.Events))
+	fmt.Printf("accesses:  %d\n", t.Accesses())
+	fmt.Printf("footprint: %d KB\n", t.FootprintBytes()>>10)
+	for _, e := range t.Events {
+		if e.Kind == trace.EvMalloc {
+			fmt.Printf("region %-16s %8d bytes (atom %d)\n", e.Name, e.Addr, e.Site)
+		}
+	}
+}
+
+func cmdProfile(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	fs.Parse(args)
+	t := loadTrace(*in)
+	p := trace.Analyze(t)
+	fmt.Printf("%-20s %10s %8s %10s %8s %6s   %s\n",
+		"region", "accesses", "stores", "footprint", "stride", "reg%", "inferred attributes")
+	total := p.TotalAccesses()
+	for _, r := range p.Regions {
+		attrs := r.InferAttributes(total)
+		fmt.Printf("%-20s %10d %8d %9dK %8d %5.0f%%   %v\n",
+			r.Name, r.Accesses, r.Stores, r.DistinctLines*64/1024,
+			r.DominantStride, 100*r.Regularity, attrs)
+	}
+	fmt.Printf("\nper-site strides:\n")
+	for _, s := range p.Sites {
+		fmt.Printf("  site %-4d %10d accesses, stride %6d (%.0f%% regular)\n",
+			s.Site, s.Accesses, s.DominantStride, 100*s.Regularity)
+	}
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	l3 := fs.Uint64("l3", 256<<10, "L3 bytes")
+	system := fs.String("system", "baseline", "baseline or xmem")
+	fs.Parse(args)
+	t := loadTrace(*in)
+	cfg := sim.FastConfig(*l3)
+	cfg.XMemCache = *system == "xmem"
+	res, err := sim.Run(cfg, trace.Replay("replay:"+*in, t))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("cycles=%d instructions=%d IPC=%.3f L3MPKI=%.2f rowhit=%.1f%%\n",
+		res.Cycles, res.Instructions, res.IPC, res.L3MPKI, 100*res.DRAM.RowHitRate())
+}

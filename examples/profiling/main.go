@@ -1,0 +1,78 @@
+// Profiling: the third expression channel of §3.5.1, end to end.
+//
+// The paper lists three ways atoms enter a program: programmer annotation,
+// static compiler analysis, and dynamic profiling. This example runs the
+// profiling path on an UNANNOTATED program:
+//
+//  1. record the program's memory trace;
+//  2. analyze it — infer each data structure's access pattern, read/write
+//     behaviour, intensity, and reuse, and emit profiler-derived atoms;
+//  3. replay the identical access stream with the inferred atoms attached,
+//     on a machine using XMem-based DRAM placement (§6).
+//
+// The program never expressed anything itself; the inferred atom segment
+// alone recovers most of the placement benefit.
+//
+// Run with: go run ./examples/profiling
+package main
+
+import (
+	"fmt"
+
+	"xmem/internal/core"
+	"xmem/internal/mem"
+	"xmem/internal/sim"
+	"xmem/internal/trace"
+	"xmem/internal/workload"
+)
+
+func main() {
+	// An "unannotated" program: three structures, no atom calls at all.
+	unannotated := workload.Workload{
+		Name: "legacy-app",
+		Run: func(p workload.Program) {
+			hot := p.Malloc("hotArray", 4<<20, core.InvalidAtom)
+			idx := p.Malloc("indexHeap", 2<<20, core.InvalidAtom)
+			cold := p.Malloc("coldLog", 1<<20, core.InvalidAtom)
+			state := uint64(7)
+			for i := 0; i < 120000; i++ {
+				p.Load(1, hot+mem.Addr(i%(4<<14))*64) // sequential sweep
+				if i%3 == 0 {
+					state = state*6364136223846793005 + 1442695040888963407
+					p.Load(2, idx+mem.Addr((state>>16)%(2<<14))*64)
+				}
+				if i%10 == 0 {
+					p.Store(3, cold+mem.Addr(i%(1<<14))*64)
+				}
+				p.Work(5)
+			}
+		},
+	}
+
+	fmt.Println("1. recording the unannotated program...")
+	tr := trace.Record(unannotated)
+	fmt.Printf("   %d accesses, %d KB footprint\n\n", tr.Accesses(), tr.FootprintBytes()>>10)
+
+	fmt.Println("2. profiling the trace (inferred atom attributes):")
+	profile := trace.Analyze(tr)
+	atoms := profile.InferAtoms()
+	for _, a := range atoms {
+		fmt.Printf("   %s\n", a)
+	}
+	fmt.Println()
+
+	fmt.Println("3. replaying on baseline vs profile-guided XMem placement:")
+	run := func(label string, alloc sim.AllocPolicy, w workload.Workload) uint64 {
+		cfg := sim.FastConfig(256 << 10)
+		cfg.Alloc = alloc
+		cfg.AllocSeed = 42
+		r := sim.MustRun(cfg, w)
+		fmt.Printf("   %-24s cycles=%10d row-hit=%5.1f%% read-lat=%4.0f\n",
+			label, r.Cycles, 100*r.DRAM.RowHitRate(), r.DRAM.AvgDemandReadLatency())
+		return r.Cycles
+	}
+	base := run("baseline (random VA->PA)", sim.AllocRandom, trace.Replay("replay", tr))
+	prof := run("profile-guided XMem", sim.AllocXMemPlacement, trace.ReplayWithAtoms("replay+atoms", tr, atoms))
+	fmt.Printf("\nprofile-guided speedup: %.2fx — with zero source changes\n",
+		float64(base)/float64(prof))
+}

@@ -1,0 +1,92 @@
+// Quickstart: the XMem programming model in isolation.
+//
+// It walks the Atom lifecycle of §3.2 — CREATE with immutable attributes,
+// MAP onto address ranges, ACTIVATE — and then plays the role of a hardware
+// component querying the Atom Management Unit for the semantics behind an
+// address, exactly the ATOM_LOOKUP flow of §4.2.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	xm "xmem/internal/core"
+	"xmem/internal/kernel"
+	"xmem/internal/mem"
+)
+
+func main() {
+	// A process address space: the MMU the AMU translates through.
+	as := kernel.NewAddressSpace(kernel.NewSequentialAllocator(64<<20), nil)
+	amu := xm.NewAMU(as, xm.AMUConfig{})
+	lib := xm.NewLib(amu)
+
+	// CREATE: two atoms with statically-known semantics (compile time).
+	hot := lib.CreateAtom("main.hotTile", xm.Attributes{
+		Type:        xm.TypeFloat64,
+		Pattern:     xm.PatternRegular,
+		StrideBytes: 64,
+		RW:          xm.ReadOnly,
+		Intensity:   220,
+		Reuse:       255,
+	})
+	edges := lib.CreateAtom("main.edgeList", xm.Attributes{
+		Type:      xm.TypeInt32,
+		Props:     xm.PropIndex | xm.PropSparse,
+		Pattern:   xm.PatternIrregular,
+		RW:        xm.ReadWrite,
+		Intensity: 90,
+	})
+
+	// The compiler summarizes the atoms into the program's atom segment;
+	// the OS loads it into the Global Attribute Table at exec time.
+	segment := lib.Segment()
+	atoms, err := xm.DecodeSegment(segment)
+	if err != nil {
+		panic(err)
+	}
+	gat := xm.NewGAT()
+	gat.LoadAtoms(atoms)
+	amu.SetGAT(gat)
+	fmt.Printf("atom segment: %d bytes for %d atoms (version %d)\n\n",
+		len(segment), len(atoms), xm.SegmentVersion)
+
+	// Allocate data structures (the augmented malloc of §4.1.2 carries
+	// the atom ID so the OS knows structure boundaries up front).
+	matrix, _ := as.Malloc("matrix", 1<<20, hot)
+	edgeList, _ := as.Malloc("edges", 256<<10, edges)
+
+	// MAP + ACTIVATE: a 64KB tile of the matrix, and the whole edge list.
+	lib.AtomMap2D(hot, matrix, 2048, 32, 8192) // 32 rows × 2KB in an 8KB-pitch matrix
+	lib.AtomActivate(hot)
+	lib.AtomMap(edges, edgeList, 256<<10)
+	lib.AtomActivate(edges)
+
+	// A hardware component (cache, prefetcher, controller) asks the AMU
+	// what an address means.
+	query := func(label string, va mem.Addr) {
+		pa, _ := as.Translate(va)
+		if id, attrs, ok := amu.LookupAttributes(pa); ok {
+			fmt.Printf("%-22s -> atom %d (%s)\n", label, id, attrs)
+		} else {
+			fmt.Printf("%-22s -> no active atom\n", label)
+		}
+	}
+	query("matrix tile row 0", matrix)
+	query("matrix tile row 5", matrix+5*8192)
+	query("matrix outside tile", matrix+5*8192+4096)
+	query("edge list", edgeList+1000)
+
+	// Phase change: the program moves to the next tile. The old mapping
+	// is peeled off and the same atom describes the new tile (§3.2).
+	lib.AtomUnmap2D(hot, matrix, 2048, 32, 8192)
+	lib.AtomMap2D(hot, matrix+2048, 2048, 32, 8192)
+	fmt.Println("\nafter remapping the tile atom one tile to the right:")
+	query("old tile start", matrix)
+	query("new tile start", matrix+2048)
+
+	hits, misses := amu.ALB().Stats()
+	fmt.Printf("\nAMU served %d lookups (ALB: %d hits, %d misses); library cost: %d instructions\n",
+		amu.Stats().Lookups, hits, misses, lib.Stats().Instructions)
+}

@@ -1,0 +1,44 @@
+// Tiling: use case 1 (§5) end to end.
+//
+// A tiled GEMM tuned for a 256 KB cache runs on machines with 256 KB,
+// 128 KB, and 64 KB of L3 — the situation a statically optimized binary
+// faces in a virtualized environment or next to co-runners. The Baseline
+// (DRRIP + multi-stride prefetcher) thrashes when the tile no longer fits;
+// XMem pins what fits and prefetches the rest along the atom's expressed
+// pattern, keeping the slowdown small (Figure 5's portability claim).
+//
+// Run with: go run ./examples/tiling
+package main
+
+import (
+	"fmt"
+
+	"xmem/internal/sim"
+	"xmem/internal/workload"
+)
+
+func main() {
+	tuned := uint64(256 << 10)
+	tile := tuned / 2 // a static optimizer fills about half the cache
+	w := workload.Gemm(workload.TiledConfig{N: 256, TileBytes: tile})
+	fmt.Printf("gemm 256x256, tile %d KB (tuned for %d KB of L3)\n\n", tile>>10, tuned>>10)
+	fmt.Printf("%-8s %15s %15s %10s\n", "L3", "Baseline cycles", "XMem cycles", "XMem gain")
+
+	var refBase uint64
+	for _, l3 := range []uint64{tuned, tuned / 2, tuned / 4} {
+		base := sim.FastConfig(l3).WithUseCase1Bandwidth(2.1e9)
+		xcfg := base
+		xcfg.XMemCache = true
+		b := sim.MustRun(base, w)
+		x := sim.MustRun(xcfg, w)
+		if refBase == 0 {
+			refBase = b.Cycles
+		}
+		fmt.Printf("%-8s %15d %15d %9.2fx\n",
+			fmt.Sprintf("%dKB", l3>>10), b.Cycles, x.Cycles,
+			float64(b.Cycles)/float64(x.Cycles))
+	}
+	fmt.Println("\nThe last two rows are the portability case: same binary, less cache.")
+	fmt.Println("XMem's pinned fraction of the tile keeps hitting while the prefetcher")
+	fmt.Println("streams the remainder, so the cliff the Baseline falls off flattens out.")
+}

@@ -1,0 +1,3 @@
+module xmem
+
+go 1.22

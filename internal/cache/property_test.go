@@ -1,0 +1,160 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmem/internal/mem"
+)
+
+// refLRU is an independent, obviously-correct model of a set-associative
+// write-allocate LRU cache.
+type refLRU struct {
+	sets, ways int
+	lines      [][]uint64 // per set, MRU first (line indexes)
+	dirty      map[uint64]bool
+	writebacks []uint64
+}
+
+func newRefLRU(sets, ways int) *refLRU {
+	return &refLRU{
+		sets: sets, ways: ways,
+		lines: make([][]uint64, sets),
+		dirty: map[uint64]bool{},
+	}
+}
+
+func (r *refLRU) access(line uint64, write bool) (hit bool) {
+	set := int(line) & (r.sets - 1)
+	q := r.lines[set]
+	for i, l := range q {
+		if l == line {
+			copy(q[1:i+1], q[:i])
+			q[0] = line
+			if write {
+				r.dirty[line] = true
+			}
+			return true
+		}
+	}
+	if len(q) == r.ways {
+		victim := q[len(q)-1]
+		q = q[:len(q)-1]
+		if r.dirty[victim] {
+			r.writebacks = append(r.writebacks, victim)
+			delete(r.dirty, victim)
+		}
+	}
+	r.lines[set] = append([]uint64{line}, q...)
+	if write {
+		r.dirty[line] = true
+	}
+	return false
+}
+
+func (r *refLRU) contains(line uint64) bool {
+	for _, l := range r.lines[int(line)&(r.sets-1)] {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// wbRecorder captures writeback line addresses.
+type wbRecorder struct{ lines []uint64 }
+
+func (w *wbRecorder) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr) mem.Result {
+	if kind == mem.Writeback {
+		w.lines = append(w.lines, mem.LineIndex(pa))
+	}
+	return mem.Done(at + 1)
+}
+
+// TestCacheLRUMatchesReferenceModel drives random access sequences through
+// the real cache and the reference model and requires identical hit/miss
+// outcomes, residency, and writeback streams.
+func TestCacheLRUMatchesReferenceModel(t *testing.T) {
+	type op struct {
+		Line  uint16 // confined space so sets conflict
+		Write bool
+	}
+	check := func(ops []op) bool {
+		rec := &wbRecorder{}
+		c := MustNew(Config{Name: "dut", SizeBytes: 4096, Ways: 4, Latency: 1, Policy: "lru"}, rec)
+		// 4096/64 = 64 lines / 4 ways = 16 sets.
+		ref := newRefLRU(16, 4)
+		for i, o := range ops {
+			line := uint64(o.Line % 512)
+			kind := mem.Read
+			if o.Write {
+				kind = mem.Write
+			}
+			wasHit := c.Contains(mem.Addr(line << mem.LineShift))
+			c.Access(mem.Addr(line<<mem.LineShift), kind, uint64(i*10), 0)
+			refHit := ref.access(line, o.Write)
+			if wasHit != refHit {
+				return false
+			}
+		}
+		// Final residency agrees.
+		for line := uint64(0); line < 512; line++ {
+			if c.Contains(mem.Addr(line<<mem.LineShift)) != ref.contains(line) {
+				return false
+			}
+		}
+		// Writeback streams agree exactly (same order under LRU).
+		if len(rec.lines) != len(ref.writebacks) {
+			return false
+		}
+		for i := range rec.lines {
+			if rec.lines[i] != ref.writebacks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(9)),
+		Values:   nil,
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheStatsConsistency checks the accounting invariants under random
+// traffic: hits+misses equals demand accesses, and evictions never exceed
+// fills.
+func TestCacheStatsConsistency(t *testing.T) {
+	rec := &wbRecorder{}
+	c := MustNew(Config{Name: "dut", SizeBytes: 8192, Ways: 8, Latency: 1, Policy: "drrip"}, rec)
+	rng := rand.New(rand.NewSource(4))
+	var demand uint64
+	for i := 0; i < 20000; i++ {
+		line := mem.Addr(rng.Intn(1024)) << mem.LineShift
+		switch rng.Intn(4) {
+		case 0:
+			c.Access(line, mem.Write, uint64(i), 0)
+			demand++
+		case 1:
+			c.Access(line, mem.Prefetch, uint64(i), 0)
+		default:
+			c.Access(line, mem.Read, uint64(i), 0)
+			demand++
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != demand {
+		t.Errorf("hits %d + misses %d != demand %d", st.Hits, st.Misses, demand)
+	}
+	fills := st.Misses + st.PrefetchMisses
+	if st.Evictions > fills {
+		t.Errorf("evictions %d > fills %d", st.Evictions, fills)
+	}
+	if uint64(len(rec.lines)) != st.Writebacks {
+		t.Errorf("recorded writebacks %d != stat %d", len(rec.lines), st.Writebacks)
+	}
+}

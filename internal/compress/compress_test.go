@@ -1,0 +1,175 @@
+package compress
+
+import (
+	"testing"
+
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+func TestAdviseByProperties(t *testing.T) {
+	cases := []struct {
+		attrs core.Attributes
+		want  Algorithm
+	}{
+		{core.Attributes{Props: core.PropSparse}, ZeroRun},
+		{core.Attributes{Props: core.PropSparse, Type: core.TypeFloat64}, ZeroRun}, // sparsity wins
+		{core.Attributes{Props: core.PropPointer}, BDI},
+		{core.Attributes{Props: core.PropIndex}, BDI},
+		{core.Attributes{Type: core.TypeFloat64}, FPDelta},
+		{core.Attributes{Type: core.TypeFloat32}, FPDelta},
+		{core.Attributes{Type: core.TypeInt32}, BDI},
+		{core.Attributes{Type: core.TypeInt64}, BDI},
+		{core.Attributes{}, None},
+		{core.Attributes{Type: core.TypeChar8}, None},
+	}
+	for _, c := range cases {
+		if got := Advise(c.attrs); got != c.want {
+			t.Errorf("Advise(%v) = %v, want %v", c.attrs, got, c.want)
+		}
+	}
+}
+
+func TestTranslatePAT(t *testing.T) {
+	g := core.NewGAT()
+	g.LoadAtoms([]core.Atom{
+		{ID: 0, Attrs: core.Attributes{Props: core.PropSparse}},
+		{ID: 1, Attrs: core.Attributes{Type: core.TypeFloat64}},
+	})
+	pat := Translate(g)
+	if pat.Lookup(0) != ZeroRun || pat.Lookup(1) != FPDelta {
+		t.Errorf("PAT = %v, %v", pat.Lookup(0), pat.Lookup(1))
+	}
+	if pat.Lookup(99) != None {
+		t.Error("unknown atom should advise None")
+	}
+}
+
+func TestZeroRunOnZeroLine(t *testing.T) {
+	line := make([]byte, mem.LineBytes)
+	if got := CompressedSize(ZeroRun, line); got != 1 {
+		t.Errorf("all-zero line = %d bytes, want 1", got)
+	}
+	line[8] = 1
+	if got := CompressedSize(ZeroRun, line); got != 9 {
+		t.Errorf("one non-zero word = %d bytes, want 9", got)
+	}
+}
+
+func TestBDISmallDeltas(t *testing.T) {
+	line := make([]byte, mem.LineBytes)
+	for w := 0; w < 8; w++ {
+		putWord(line, w, 0x7F0000000000+uint64(w)*16)
+	}
+	got := CompressedSize(BDI, line)
+	if got != 8+7*1 {
+		t.Errorf("small-delta line = %d bytes, want 15", got)
+	}
+	// Wide values do not compress.
+	for w := 0; w < 8; w++ {
+		putWord(line, w, uint64(w)*0x123456789AB)
+	}
+	if got := CompressedSize(BDI, line); got != mem.LineBytes {
+		t.Errorf("wide line = %d bytes, want uncompressed", got)
+	}
+}
+
+func TestFPDeltaSharedExponent(t *testing.T) {
+	line := make([]byte, mem.LineBytes)
+	for w := 0; w < 8; w++ {
+		putWord(line, w, 0x3FF0000000000000|uint64(w*999)) // 1.0 + mantissa bits
+	}
+	if got := CompressedSize(FPDelta, line); got != 54 {
+		t.Errorf("shared-exponent line = %d bytes, want 54", got)
+	}
+	putWord(line, 3, 0x4050000000000000) // different exponent
+	if got := CompressedSize(FPDelta, line); got != mem.LineBytes {
+		t.Errorf("mixed exponents = %d, want uncompressed", got)
+	}
+}
+
+func TestCompressedSizeNeverExceedsLine(t *testing.T) {
+	line := make([]byte, mem.LineBytes)
+	for i := range line {
+		line[i] = byte(i*37 + 11)
+	}
+	for _, alg := range []Algorithm{None, ZeroRun, BDI, FPDelta} {
+		if got := CompressedSize(alg, line); got > mem.LineBytes {
+			t.Errorf("%v: %d bytes > line size", alg, got)
+		}
+	}
+}
+
+func TestCompressedSizePanicsOnBadLine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on short line")
+		}
+	}()
+	CompressedSize(BDI, make([]byte, 32))
+}
+
+func TestAdvisedBeatsEveryGlobalChoice(t *testing.T) {
+	// Table 1's point: with pools of different character, the per-atom
+	// advice compresses each pool at least as well as the best single
+	// global algorithm does across all pools.
+	pools := []core.Attributes{
+		{Props: core.PropSparse},
+		{Props: core.PropPointer},
+		{Type: core.TypeFloat64},
+		{Type: core.TypeInt64},
+	}
+	perAlgTotal := map[Algorithm]float64{}
+	advisedTotal := 0.0
+	for i, attrs := range pools {
+		data := SynthPool(attrs, 64*1024, uint64(i+1))
+		rep := Analyze(attrs, data)
+		if rep.AdvisedRatio < 1.1 {
+			t.Errorf("pool %v: advised ratio %.2f, expected compressible", attrs, rep.AdvisedRatio)
+		}
+		for alg, ratio := range rep.Ratio {
+			perAlgTotal[alg] += ratio
+		}
+		advisedTotal += rep.AdvisedRatio
+		// The advised algorithm is the best (or tied) for its own pool.
+		for alg, ratio := range rep.Ratio {
+			if ratio > rep.AdvisedRatio*1.01 {
+				t.Errorf("pool %v: %v (%.2f) beats advised %v (%.2f)",
+					attrs, alg, ratio, rep.AdvisedAlg, rep.AdvisedRatio)
+			}
+		}
+	}
+	for alg, total := range perAlgTotal {
+		if total > advisedTotal {
+			t.Errorf("global %v total ratio %.2f > advised %.2f", alg, total, advisedTotal)
+		}
+	}
+}
+
+func TestSynthPoolDeterministic(t *testing.T) {
+	a := SynthPool(core.Attributes{Props: core.PropSparse}, 4096, 7)
+	b := SynthPool(core.Attributes{Props: core.PropSparse}, 4096, 7)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different pools")
+	}
+	c := SynthPool(core.Attributes{Props: core.PropSparse}, 4096, 8)
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical pools")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for alg, want := range map[Algorithm]string{
+		None: "none", ZeroRun: "zero-run", BDI: "BDI", FPDelta: "FP-delta",
+	} {
+		if alg.String() != want {
+			t.Errorf("%d.String() = %q", alg, alg.String())
+		}
+	}
+}
+
+func putWord(line []byte, w int, v uint64) {
+	for i := 0; i < 8; i++ {
+		line[w*8+i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,49 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+
+	"xmem/internal/core"
+)
+
+// SynthPool generates a deterministic data pool whose value distribution
+// matches the expressed atom attributes, standing in for the real contents
+// of the data structure (the paper evaluates compression on real program
+// data; we synthesize the equivalent distributions).
+func SynthPool(attrs core.Attributes, bytes int, seed uint64) []byte {
+	pool := make([]byte, bytes/8*8)
+	rng := seed | 1
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng
+	}
+	for w := 0; w < len(pool)/8; w++ {
+		var v uint64
+		switch {
+		case attrs.Props.Has(core.PropSparse):
+			// ~80% zero words.
+			if next()%10 < 8 {
+				v = 0
+			} else {
+				v = next() % 1000
+			}
+		case attrs.Props.Has(core.PropPointer):
+			// Heap pointers: a common base with small offsets.
+			v = 0x7F0000000000 + (next() % (1 << 20) * 8)
+		case attrs.Props.Has(core.PropIndex):
+			// Indices into a million-entry structure.
+			v = next() % (1 << 20)
+		case attrs.Type == core.TypeFloat64 || attrs.Type == core.TypeFloat32:
+			// Physical quantities in a narrow band: same exponent.
+			v = math.Float64bits(1.0 + float64(next()%1000)/1000)
+		case attrs.Type == core.TypeInt32 || attrs.Type == core.TypeInt64:
+			// Counters with small dynamic range.
+			v = 100000 + next()%128
+		default:
+			v = next()
+		}
+		binary.LittleEndian.PutUint64(pool[w*8:], v)
+	}
+	return pool
+}

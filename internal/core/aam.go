@@ -1,0 +1,158 @@
+package core
+
+import (
+	"xmem/internal/mem"
+)
+
+// DefaultGranularityBytes is the smallest address-range unit the AAM tracks
+// per atom mapping. The paper's system granularity is 8 cache lines = 512 B
+// (§4.2), giving a 0.2% storage overhead with 8-bit atom IDs.
+const DefaultGranularityBytes = 512
+
+// AAM is the Atom Address Map (§4.2 component 1): it resolves a physical
+// address to the atom (if any) most recently mapped over it. The map is
+// approximate — each granularity-sized chunk maps to at most one atom — and
+// purely supplemental, so imprecision can affect only optimization quality,
+// never correctness.
+type AAM struct {
+	granBytes uint64
+	granShift uint
+	// chunks maps chunk index (PA >> granShift) to atom ID.
+	chunks map[uint64]AtomID
+	// mappedChunks counts chunks currently mapped per atom; the working
+	// set size of an atom is inferred from it (§3.3 class 3).
+	mappedChunks map[AtomID]uint64
+}
+
+// NewAAM returns an AAM with the given chunk granularity, which must be a
+// power of two and at least one cache line. Pass 0 for the paper default
+// (512 B).
+func NewAAM(granBytes uint64) *AAM {
+	if granBytes == 0 {
+		granBytes = DefaultGranularityBytes
+	}
+	if granBytes < mem.LineBytes || granBytes&(granBytes-1) != 0 {
+		panic("core: AAM granularity must be a power of two >= the line size")
+	}
+	shift := uint(0)
+	for g := granBytes; g > 1; g >>= 1 {
+		shift++
+	}
+	return &AAM{
+		granBytes:    granBytes,
+		granShift:    shift,
+		chunks:       make(map[uint64]AtomID),
+		mappedChunks: make(map[AtomID]uint64),
+	}
+}
+
+// GranularityBytes returns the chunk size.
+func (m *AAM) GranularityBytes() uint64 { return m.granBytes }
+
+// chunkRange returns the inclusive first and exclusive last chunk index
+// covered by [pa, pa+size).
+func (m *AAM) chunkRange(pa mem.Addr, size uint64) (first, last uint64) {
+	first = uint64(pa) >> m.granShift
+	last = (uint64(pa) + size + m.granBytes - 1) >> m.granShift
+	if size == 0 {
+		last = first
+	}
+	return first, last
+}
+
+// Map associates every chunk overlapping [pa, pa+size) with atom id,
+// displacing any previous association (the many-to-one VA-atom invariant of
+// §3.2: a chunk maps to at most one atom at a time).
+func (m *AAM) Map(pa mem.Addr, size uint64, id AtomID) {
+	first, last := m.chunkRange(pa, size)
+	for c := first; c < last; c++ {
+		if prev, ok := m.chunks[c]; ok {
+			if prev == id {
+				continue
+			}
+			m.decMapped(prev)
+		}
+		m.chunks[c] = id
+		m.mappedChunks[id]++
+	}
+}
+
+// Unmap removes the association of atom id from every chunk overlapping
+// [pa, pa+size). Chunks mapped to a different atom are left untouched, so
+// an atom can be unmapped without disturbing later remappings.
+func (m *AAM) Unmap(pa mem.Addr, size uint64, id AtomID) {
+	first, last := m.chunkRange(pa, size)
+	for c := first; c < last; c++ {
+		if cur, ok := m.chunks[c]; ok && cur == id {
+			delete(m.chunks, c)
+			m.decMapped(id)
+		}
+	}
+}
+
+// UnmapAll removes every chunk mapped to atom id. It supports program-phase
+// transitions that retire an atom wholesale.
+func (m *AAM) UnmapAll(id AtomID) {
+	for c, cur := range m.chunks {
+		if cur == id {
+			delete(m.chunks, c)
+		}
+	}
+	delete(m.mappedChunks, id)
+}
+
+func (m *AAM) decMapped(id AtomID) {
+	if n := m.mappedChunks[id]; n <= 1 {
+		delete(m.mappedChunks, id)
+	} else {
+		m.mappedChunks[id] = n - 1
+	}
+}
+
+// Lookup returns the atom mapped over physical address pa, if any.
+func (m *AAM) Lookup(pa mem.Addr) (AtomID, bool) {
+	id, ok := m.chunks[uint64(pa)>>m.granShift]
+	return id, ok
+}
+
+// MappedBytes returns the number of bytes currently mapped to atom id,
+// rounded up to chunk granularity. This is the atom's working-set size as
+// seen by the system.
+func (m *AAM) MappedBytes(id AtomID) uint64 {
+	return m.mappedChunks[id] * m.granBytes
+}
+
+// MappedAtoms returns the IDs of all atoms with at least one mapped chunk.
+func (m *AAM) MappedAtoms() []AtomID {
+	ids := make([]AtomID, 0, len(m.mappedChunks))
+	for id := range m.mappedChunks {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// PageAtoms returns the atom ID of each chunk in the page containing pa, in
+// chunk order. A chunk with no atom reports InvalidAtom. This is the unit an
+// ALB entry caches (§4.2: "the data are the Atom IDs in the physical pages").
+func (m *AAM) PageAtoms(pa mem.Addr) []AtomID {
+	chunksPerPage := uint64(mem.PageBytes) / m.granBytes
+	base := (uint64(pa) >> mem.PageShift) * chunksPerPage
+	ids := make([]AtomID, chunksPerPage)
+	for i := range ids {
+		if id, ok := m.chunks[base+uint64(i)]; ok {
+			ids[i] = id
+		} else {
+			ids[i] = InvalidAtom
+		}
+	}
+	return ids
+}
+
+// StorageOverheadBytes returns the memory the AAM would occupy in hardware
+// for a machine with physBytes of physical memory and the given atom-ID
+// width in bits (§4.4: 8-bit IDs at 512 B granularity cost 0.2% of physical
+// memory).
+func (m *AAM) StorageOverheadBytes(physBytes uint64, idBits uint) uint64 {
+	chunks := physBytes / m.granBytes
+	return chunks * uint64(idBits) / 8
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmem/internal/mem"
+)
+
+func TestAAMDefaultGranularity(t *testing.T) {
+	m := NewAAM(0)
+	if got := m.GranularityBytes(); got != DefaultGranularityBytes {
+		t.Fatalf("granularity = %d, want %d", got, DefaultGranularityBytes)
+	}
+}
+
+func TestAAMRejectsBadGranularity(t *testing.T) {
+	for _, g := range []uint64{3, 48, 96, 511, mem.LineBytes / 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAAM(%d) did not panic", g)
+				}
+			}()
+			NewAAM(g)
+		}()
+	}
+}
+
+func TestAAMMapLookup(t *testing.T) {
+	m := NewAAM(512)
+	m.Map(0x1000, 1024, 7)
+
+	if id, ok := m.Lookup(0x1000); !ok || id != 7 {
+		t.Errorf("Lookup(0x1000) = %d,%v want 7,true", id, ok)
+	}
+	if id, ok := m.Lookup(0x13FF); !ok || id != 7 {
+		t.Errorf("Lookup(0x13FF) = %d,%v want 7,true", id, ok)
+	}
+	if _, ok := m.Lookup(0x1400); ok {
+		t.Error("Lookup(0x1400) mapped, want unmapped")
+	}
+	if _, ok := m.Lookup(0x0FFF); ok {
+		t.Error("Lookup(0x0FFF) mapped, want unmapped")
+	}
+}
+
+func TestAAMMapCoversPartialChunks(t *testing.T) {
+	m := NewAAM(512)
+	// A 64-byte range in the middle of a chunk claims the whole chunk:
+	// the AAM is approximate at chunk granularity (§4.2).
+	m.Map(0x1100, 64, 3)
+	if id, ok := m.Lookup(0x1000); !ok || id != 3 {
+		t.Errorf("Lookup(0x1000) = %d,%v want 3,true (chunk rounding)", id, ok)
+	}
+	if id, ok := m.Lookup(0x11FF); !ok || id != 3 {
+		t.Errorf("Lookup(0x11FF) = %d,%v want 3,true", id, ok)
+	}
+}
+
+func TestAAMManyToOneInvariant(t *testing.T) {
+	// Mapping a second atom over the same range displaces the first:
+	// a VA maps to at most one atom at any time (§3.2).
+	m := NewAAM(512)
+	m.Map(0x2000, 2048, 1)
+	m.Map(0x2000, 1024, 2)
+
+	if id, _ := m.Lookup(0x2000); id != 2 {
+		t.Errorf("overlap start = atom %d, want 2", id)
+	}
+	if id, _ := m.Lookup(0x2400); id != 1 {
+		t.Errorf("tail = atom %d, want 1", id)
+	}
+	if got := m.MappedBytes(1); got != 1024 {
+		t.Errorf("atom 1 mapped bytes = %d, want 1024", got)
+	}
+	if got := m.MappedBytes(2); got != 1024 {
+		t.Errorf("atom 2 mapped bytes = %d, want 1024", got)
+	}
+}
+
+func TestAAMUnmapOnlyNamedAtom(t *testing.T) {
+	m := NewAAM(512)
+	m.Map(0x1000, 512, 1)
+	m.Map(0x1200, 512, 2) // chunk 0x1200>>9 == 9; wait 0x1200/512=9, 0x1000/512=8
+	// Unmapping atom 1 over both chunks must not disturb atom 2.
+	m.Unmap(0x1000, 1024, 1)
+	if _, ok := m.Lookup(0x1000); ok {
+		t.Error("atom 1 chunk still mapped after unmap")
+	}
+	if id, ok := m.Lookup(0x1200); !ok || id != 2 {
+		t.Errorf("atom 2 chunk = %d,%v; unmap of atom 1 must not touch it", id, ok)
+	}
+}
+
+func TestAAMUnmapAll(t *testing.T) {
+	m := NewAAM(512)
+	m.Map(0x0, 4096, 5)
+	m.Map(0x10000, 4096, 5)
+	m.Map(0x20000, 512, 6)
+	m.UnmapAll(5)
+	if got := m.MappedBytes(5); got != 0 {
+		t.Errorf("atom 5 mapped bytes after UnmapAll = %d, want 0", got)
+	}
+	if id, ok := m.Lookup(0x20000); !ok || id != 6 {
+		t.Errorf("atom 6 disturbed by UnmapAll(5): %d,%v", id, ok)
+	}
+}
+
+func TestAAMMappedAtomsAndWorkingSet(t *testing.T) {
+	m := NewAAM(512)
+	m.Map(0, 8192, 1)
+	m.Map(0x10000, 512, 2)
+	ids := m.MappedAtoms()
+	if len(ids) != 2 {
+		t.Fatalf("MappedAtoms = %v, want 2 atoms", ids)
+	}
+	if m.MappedBytes(1) != 8192 {
+		t.Errorf("working set of atom 1 = %d, want 8192", m.MappedBytes(1))
+	}
+}
+
+func TestAAMPageAtoms(t *testing.T) {
+	m := NewAAM(512)
+	m.Map(0x1000, 512, 4) // first chunk of page 1
+	m.Map(0x1E00, 512, 9) // last chunk of page 1
+	atoms := m.PageAtoms(0x1234)
+	if len(atoms) != 8 {
+		t.Fatalf("PageAtoms len = %d, want 8 (4KB page / 512B chunks)", len(atoms))
+	}
+	if atoms[0] != 4 {
+		t.Errorf("chunk 0 = %d, want 4", atoms[0])
+	}
+	if atoms[7] != 9 {
+		t.Errorf("chunk 7 = %d, want 9", atoms[7])
+	}
+	for i := 1; i < 7; i++ {
+		if atoms[i] != InvalidAtom {
+			t.Errorf("chunk %d = %d, want InvalidAtom", i, atoms[i])
+		}
+	}
+}
+
+func TestAAMStorageOverhead(t *testing.T) {
+	m := NewAAM(512)
+	// §4.4: 0.2% of an 8 GB system = 16 MB with 8-bit atom IDs.
+	phys := uint64(8) << 30
+	if got := m.StorageOverheadBytes(phys, 8); got != 16<<20 {
+		t.Errorf("overhead = %d, want %d", got, 16<<20)
+	}
+	// §4.2: 6-bit IDs at 1 KB granularity ≈ 0.07%.
+	m2 := NewAAM(1024)
+	got := m2.StorageOverheadBytes(phys, 6)
+	frac := float64(got) / float64(phys)
+	if frac < 0.0006 || frac > 0.0008 {
+		t.Errorf("overhead fraction = %f, want ~0.0007", frac)
+	}
+}
+
+// TestAAMQuickAgainstReference drives random map/unmap sequences against a
+// byte-granular reference model and checks every lookup agrees.
+func TestAAMQuickAgainstReference(t *testing.T) {
+	type op struct {
+		Unmap bool
+		Chunk uint16 // confined space so ops overlap
+		Len   uint8
+		ID    uint8
+	}
+	check := func(ops []op) bool {
+		m := NewAAM(512)
+		ref := make(map[uint64]AtomID) // chunk -> atom
+		for _, o := range ops {
+			base := mem.Addr(o.Chunk) * 512
+			size := (uint64(o.Len)%8 + 1) * 512
+			id := AtomID(o.ID % 8)
+			first := uint64(o.Chunk)
+			last := first + size/512
+			if o.Unmap {
+				m.Unmap(base, size, id)
+				for c := first; c < last; c++ {
+					if ref[c] == id {
+						delete(ref, c)
+					}
+				}
+			} else {
+				m.Map(base, size, id)
+				for c := first; c < last; c++ {
+					ref[c] = id
+				}
+			}
+		}
+		// Validate lookups and per-atom working-set accounting.
+		counts := make(map[AtomID]uint64)
+		for c := uint64(0); c < 1<<16; c++ {
+			want, wantOK := ref[c]
+			got, gotOK := m.Lookup(mem.Addr(c * 512))
+			if wantOK != gotOK || (wantOK && want != got) {
+				return false
+			}
+			if wantOK {
+				counts[want]++
+			}
+		}
+		for id, n := range counts {
+			if m.MappedBytes(id) != n*512 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

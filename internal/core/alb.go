@@ -1,0 +1,111 @@
+package core
+
+import (
+	"container/list"
+
+	"xmem/internal/mem"
+)
+
+// DefaultALBEntries is the paper's evaluated ALB size: a 256-entry ALB
+// covers 98.9% of ATOM_LOOKUP requests (§4.2).
+const DefaultALBEntries = 256
+
+// ALB is the Atom Lookaside Buffer: a small fully-associative LRU cache of
+// AAM lookups, analogous to a TLB in an MMU (§4.2). Tags are physical page
+// indexes; data are the atom IDs of the chunks in the page. The AMU accesses
+// the AAM only on ALB misses.
+type ALB struct {
+	entries  int
+	lru      *list.List // front = most recently used; values are *albEntry
+	byPage   map[uint64]*list.Element
+	hits     uint64
+	misses   uint64
+	flushes  uint64
+	invalids uint64
+}
+
+type albEntry struct {
+	page  uint64
+	atoms []AtomID // one per AAM chunk in the page
+}
+
+// NewALB returns an ALB with the given entry count (0 = the 256-entry
+// default).
+func NewALB(entries int) *ALB {
+	if entries <= 0 {
+		entries = DefaultALBEntries
+	}
+	return &ALB{
+		entries: entries,
+		lru:     list.New(),
+		byPage:  make(map[uint64]*list.Element, entries),
+	}
+}
+
+// Lookup returns the cached atom IDs for the page containing pa, or nil on
+// a miss. chunkShift is the AAM granularity shift used to select the chunk
+// within the page.
+func (b *ALB) Lookup(pa mem.Addr, granBytes uint64) (AtomID, bool, bool) {
+	page := mem.PageIndex(pa)
+	el, ok := b.byPage[page]
+	if !ok {
+		b.misses++
+		return InvalidAtom, false, false
+	}
+	b.hits++
+	b.lru.MoveToFront(el)
+	e := el.Value.(*albEntry)
+	idx := mem.PageOffset(pa) / granBytes
+	id := e.atoms[idx]
+	return id, id != InvalidAtom, true
+}
+
+// Fill inserts the atom IDs for the page containing pa, evicting the least
+// recently used entry if the ALB is full.
+func (b *ALB) Fill(pa mem.Addr, atoms []AtomID) {
+	page := mem.PageIndex(pa)
+	if el, ok := b.byPage[page]; ok {
+		el.Value.(*albEntry).atoms = atoms
+		b.lru.MoveToFront(el)
+		return
+	}
+	if b.lru.Len() >= b.entries {
+		victim := b.lru.Back()
+		b.lru.Remove(victim)
+		delete(b.byPage, victim.Value.(*albEntry).page)
+	}
+	b.byPage[page] = b.lru.PushFront(&albEntry{page: page, atoms: atoms})
+}
+
+// InvalidatePage drops the cached entry for the page containing pa. The AMU
+// calls this when an ATOM_MAP/ATOM_UNMAP touches the page.
+func (b *ALB) InvalidatePage(pa mem.Addr) {
+	page := mem.PageIndex(pa)
+	if el, ok := b.byPage[page]; ok {
+		b.lru.Remove(el)
+		delete(b.byPage, page)
+		b.invalids++
+	}
+}
+
+// Flush empties the ALB (required on context switch, §4.4).
+func (b *ALB) Flush() {
+	b.lru.Init()
+	b.byPage = make(map[uint64]*list.Element, b.entries)
+	b.flushes++
+}
+
+// Len returns the number of resident entries.
+func (b *ALB) Len() int { return b.lru.Len() }
+
+// Stats returns cumulative hit and miss counts.
+func (b *ALB) Stats() (hits, misses uint64) { return b.hits, b.misses }
+
+// HitRate returns the fraction of lookups served without an AAM access.
+func (b *ALB) HitRate() float64 {
+	total := b.hits + b.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(total)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"xmem/internal/mem"
+)
+
+func fillPage(b *ALB, pa mem.Addr, id AtomID) {
+	atoms := make([]AtomID, mem.PageBytes/512)
+	for i := range atoms {
+		atoms[i] = id
+	}
+	b.Fill(pa, atoms)
+}
+
+func TestALBHitMiss(t *testing.T) {
+	b := NewALB(4)
+	if _, _, hit := b.Lookup(0x1000, 512); hit {
+		t.Fatal("lookup hit on empty ALB")
+	}
+	fillPage(b, 0x1000, 7)
+	id, mapped, hit := b.Lookup(0x1ABC, 512)
+	if !hit || !mapped || id != 7 {
+		t.Fatalf("lookup = %d,%v,%v want 7,true,true", id, mapped, hit)
+	}
+	hits, misses := b.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits %d misses, want 1/1", hits, misses)
+	}
+	if r := b.HitRate(); r != 0.5 {
+		t.Errorf("hit rate = %f, want 0.5", r)
+	}
+}
+
+func TestALBUnmappedChunkReportsNotMapped(t *testing.T) {
+	b := NewALB(4)
+	atoms := make([]AtomID, 8)
+	for i := range atoms {
+		atoms[i] = InvalidAtom
+	}
+	atoms[0] = 3
+	b.Fill(0x2000, atoms)
+	// Chunk 0 is mapped.
+	if id, mapped, hit := b.Lookup(0x2000, 512); !hit || !mapped || id != 3 {
+		t.Errorf("chunk 0 = %d,%v,%v", id, mapped, hit)
+	}
+	// Chunk 1 is cached as unmapped: a hit that reports no atom.
+	if _, mapped, hit := b.Lookup(0x2200, 512); !hit || mapped {
+		t.Errorf("chunk 1 mapped=%v hit=%v, want hit with no atom", mapped, hit)
+	}
+}
+
+func TestALBLRUEviction(t *testing.T) {
+	b := NewALB(2)
+	fillPage(b, 0x0000, 1)
+	fillPage(b, 0x1000, 2)
+	b.Lookup(0x0000, 512)  // touch page 0 so page 1 is LRU
+	fillPage(b, 0x2000, 3) // evicts page 1
+	if _, _, hit := b.Lookup(0x1000, 512); hit {
+		t.Error("LRU page survived eviction")
+	}
+	if _, _, hit := b.Lookup(0x0000, 512); !hit {
+		t.Error("MRU page was evicted")
+	}
+	if b.Len() != 2 {
+		t.Errorf("len = %d, want 2", b.Len())
+	}
+}
+
+func TestALBInvalidatePage(t *testing.T) {
+	b := NewALB(4)
+	fillPage(b, 0x3000, 5)
+	b.InvalidatePage(0x3800)
+	if _, _, hit := b.Lookup(0x3000, 512); hit {
+		t.Error("invalidated page still hits")
+	}
+}
+
+func TestALBFlush(t *testing.T) {
+	b := NewALB(4)
+	fillPage(b, 0x1000, 1)
+	fillPage(b, 0x2000, 2)
+	b.Flush()
+	if b.Len() != 0 {
+		t.Errorf("len after flush = %d, want 0", b.Len())
+	}
+}
+
+func TestALBRefillUpdatesExisting(t *testing.T) {
+	b := NewALB(2)
+	fillPage(b, 0x1000, 1)
+	fillPage(b, 0x1000, 9) // same page: update in place, no duplicate
+	if b.Len() != 1 {
+		t.Fatalf("len = %d, want 1", b.Len())
+	}
+	if id, _, _ := b.Lookup(0x1000, 512); id != 9 {
+		t.Errorf("refilled entry = %d, want 9", id)
+	}
+}
+
+func TestALBDefaultSize(t *testing.T) {
+	b := NewALB(0)
+	for i := 0; i < DefaultALBEntries+10; i++ {
+		fillPage(b, mem.Addr(i)*mem.PageBytes, AtomID(i%8))
+	}
+	if b.Len() != DefaultALBEntries {
+		t.Errorf("len = %d, want %d", b.Len(), DefaultALBEntries)
+	}
+}

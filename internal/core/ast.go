@@ -1,0 +1,79 @@
+package core
+
+// MaxAtoms is the default per-application atom budget. The paper assumes up
+// to 256 atoms per application, making the AST a 32-byte bitmap (§4.2); all
+// evaluated benchmarks used fewer than 10.
+const MaxAtoms = 256
+
+// AST is the Atom Status Table (§4.2 component 2): a bitmap recording which
+// atoms are currently active. Attributes of an atom are recognized by the
+// system only while the atom is active (§3.2).
+type AST struct {
+	bits []uint64
+	max  int
+}
+
+// NewAST returns an AST sized for maxAtoms atoms. Pass 0 for the default
+// budget of 256.
+func NewAST(maxAtoms int) *AST {
+	if maxAtoms <= 0 {
+		maxAtoms = MaxAtoms
+	}
+	return &AST{bits: make([]uint64, (maxAtoms+63)/64), max: maxAtoms}
+}
+
+// Capacity returns the number of atoms the table can track.
+func (t *AST) Capacity() int { return t.max }
+
+// SizeBytes returns the hardware storage the bitmap occupies (32 B at the
+// default 256-atom budget, per §4.2).
+func (t *AST) SizeBytes() uint64 { return uint64(len(t.bits)) * 8 }
+
+// Activate marks atom id active. Out-of-range IDs are ignored: XMem is
+// hint-based, so a malformed hint must never fault.
+func (t *AST) Activate(id AtomID) {
+	if int(id) >= t.max {
+		return
+	}
+	t.bits[id/64] |= 1 << (id % 64)
+}
+
+// Deactivate marks atom id inactive.
+func (t *AST) Deactivate(id AtomID) {
+	if int(id) >= t.max {
+		return
+	}
+	t.bits[id/64] &^= 1 << (id % 64)
+}
+
+// Active reports whether atom id is currently active.
+func (t *AST) Active(id AtomID) bool {
+	if int(id) >= t.max {
+		return false
+	}
+	return t.bits[id/64]&(1<<(id%64)) != 0
+}
+
+// ActiveAtoms returns the IDs of all active atoms in ascending order.
+func (t *AST) ActiveAtoms() []AtomID {
+	var ids []AtomID
+	for w, word := range t.bits {
+		for word != 0 {
+			bit := word & -word
+			idx := 0
+			for word&(1<<idx) == 0 {
+				idx++
+			}
+			ids = append(ids, AtomID(w*64+idx))
+			word &^= bit
+		}
+	}
+	return ids
+}
+
+// Reset deactivates every atom (used on context switch reload, §4.3).
+func (t *AST) Reset() {
+	for i := range t.bits {
+		t.bits[i] = 0
+	}
+}

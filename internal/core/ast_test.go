@@ -1,0 +1,73 @@
+package core
+
+import "testing"
+
+func TestASTActivateDeactivate(t *testing.T) {
+	a := NewAST(0)
+	if a.Capacity() != MaxAtoms {
+		t.Fatalf("capacity = %d, want %d", a.Capacity(), MaxAtoms)
+	}
+	if a.Active(0) {
+		t.Error("atom 0 active before activation")
+	}
+	a.Activate(0)
+	a.Activate(63)
+	a.Activate(64)
+	a.Activate(255)
+	for _, id := range []AtomID{0, 63, 64, 255} {
+		if !a.Active(id) {
+			t.Errorf("atom %d inactive after Activate", id)
+		}
+	}
+	a.Deactivate(64)
+	if a.Active(64) {
+		t.Error("atom 64 active after Deactivate")
+	}
+	if !a.Active(63) || !a.Active(255) {
+		t.Error("Deactivate(64) disturbed neighbours")
+	}
+}
+
+func TestASTOutOfRangeIsNoop(t *testing.T) {
+	a := NewAST(16)
+	a.Activate(100) // must not panic and must not register
+	if a.Active(100) {
+		t.Error("out-of-range atom reported active")
+	}
+	a.Deactivate(100) // must not panic
+}
+
+func TestASTActiveAtoms(t *testing.T) {
+	a := NewAST(256)
+	for _, id := range []AtomID{3, 0, 200, 64} {
+		a.Activate(id)
+	}
+	got := a.ActiveAtoms()
+	want := []AtomID{0, 3, 64, 200}
+	if len(got) != len(want) {
+		t.Fatalf("ActiveAtoms = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ActiveAtoms = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestASTSizeMatchesPaper(t *testing.T) {
+	// §4.2: 256 atoms -> 32 bytes.
+	a := NewAST(256)
+	if a.SizeBytes() != 32 {
+		t.Errorf("AST size = %d B, want 32 B", a.SizeBytes())
+	}
+}
+
+func TestASTReset(t *testing.T) {
+	a := NewAST(64)
+	a.Activate(1)
+	a.Activate(33)
+	a.Reset()
+	if len(a.ActiveAtoms()) != 0 {
+		t.Error("atoms still active after Reset")
+	}
+}

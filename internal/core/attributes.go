@@ -1,0 +1,243 @@
+// Package core implements Expressive Memory (XMem), the cross-layer
+// interface proposed by Vijaykumar et al. (ISCA 2018). It provides the Atom
+// abstraction (§3.1–§3.3), the XMemLib application interface (§4.1.1,
+// Table 2), and the system components that store and serve atom semantics:
+// the Atom Address Map (AAM), Atom Status Table (AST), Global Attribute
+// Table (GAT), per-component Private Attribute Tables (PATs), the Atom
+// Lookaside Buffer (ALB), and the Atom Management Unit (AMU) (§4.2).
+//
+// Everything in this package is hint-based: no correctness property of a
+// program may depend on it (§2.1). The architectural components of the
+// simulator query the AMU for the atom (if any) behind a physical address
+// and adapt their policies accordingly.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AtomID identifies a statically-created atom within a process. IDs are
+// assigned consecutively starting at 0 by CreateAtom (§4.2). The paper's
+// default configuration uses 8-bit IDs (up to 256 atoms per application).
+type AtomID uint16
+
+// InvalidAtom is returned by lookups on addresses that map to no atom.
+const InvalidAtom AtomID = 0xFFFF
+
+// DataType describes the type of the values in the data pool mapped to an
+// atom (§3.3 class 1). It informs, e.g., compression-algorithm selection.
+type DataType uint8
+
+// Data types expressible in an atom's data-value properties.
+const (
+	TypeNone DataType = iota
+	TypeInt32
+	TypeInt64
+	TypeFloat32
+	TypeFloat64
+	TypeChar8
+)
+
+// String implements fmt.Stringer.
+func (t DataType) String() string {
+	switch t {
+	case TypeNone:
+		return "none"
+	case TypeInt32:
+		return "INT32"
+	case TypeInt64:
+		return "INT64"
+	case TypeFloat32:
+		return "FLOAT32"
+	case TypeFloat64:
+		return "FLOAT64"
+	case TypeChar8:
+		return "CHAR8"
+	default:
+		return fmt.Sprintf("DataType(%d)", uint8(t))
+	}
+}
+
+// DataProps is an extensible bit-set of data-value properties (§3.3 uses a
+// single bit per attribute).
+type DataProps uint32
+
+// Data-value property flags.
+const (
+	// PropSparse marks data dominated by zero values.
+	PropSparse DataProps = 1 << iota
+	// PropApproximable marks data tolerant of approximation.
+	PropApproximable
+	// PropPointer marks data holding pointers.
+	PropPointer
+	// PropIndex marks data holding indices into other structures.
+	PropIndex
+)
+
+// Has reports whether all property bits in p are set.
+func (d DataProps) Has(p DataProps) bool { return d&p == p }
+
+// String implements fmt.Stringer.
+func (d DataProps) String() string {
+	if d == 0 {
+		return "-"
+	}
+	var parts []string
+	if d.Has(PropSparse) {
+		parts = append(parts, "SPARSE")
+	}
+	if d.Has(PropApproximable) {
+		parts = append(parts, "APPROX")
+	}
+	if d.Has(PropPointer) {
+		parts = append(parts, "POINTER")
+	}
+	if d.Has(PropIndex) {
+		parts = append(parts, "INDEX")
+	}
+	return strings.Join(parts, "|")
+}
+
+// PatternType classifies the access pattern over the data an atom maps
+// (§3.3 class 2, AccessPattern).
+type PatternType uint8
+
+// Access pattern types.
+const (
+	// PatternNone conveys no access-pattern information.
+	PatternNone PatternType = iota
+	// PatternRegular is a strided pattern; Attributes.StrideBytes holds
+	// the stride.
+	PatternRegular
+	// PatternIrregular is repeatable within the data range but has no
+	// fixed stride (e.g., graph traversals).
+	PatternIrregular
+	// PatternNonDet has no repeated pattern at all.
+	PatternNonDet
+)
+
+// String implements fmt.Stringer.
+func (p PatternType) String() string {
+	switch p {
+	case PatternNone:
+		return "none"
+	case PatternRegular:
+		return "REGULAR"
+	case PatternIrregular:
+		return "IRREGULAR"
+	case PatternNonDet:
+		return "NON_DET"
+	default:
+		return fmt.Sprintf("PatternType(%d)", uint8(p))
+	}
+}
+
+// RWChar describes the read-write characteristics of the data at the time
+// the atom is active (§3.3 class 2, RWChar).
+type RWChar uint8
+
+// Read-write characteristics.
+const (
+	// RWNone conveys no read/write information.
+	RWNone RWChar = iota
+	// ReadOnly data is only read while the atom is active.
+	ReadOnly
+	// ReadWrite data is both read and written.
+	ReadWrite
+	// WriteOnly data is only written.
+	WriteOnly
+)
+
+// String implements fmt.Stringer.
+func (rw RWChar) String() string {
+	switch rw {
+	case RWNone:
+		return "none"
+	case ReadOnly:
+		return "READ_ONLY"
+	case ReadWrite:
+		return "READ_WRITE"
+	case WriteOnly:
+		return "WRITE_ONLY"
+	default:
+		return fmt.Sprintf("RWChar(%d)", uint8(rw))
+	}
+}
+
+// Attributes is the immutable set of program semantics attached to an atom
+// at creation (§3.2 "Immutable Attributes"). The zero value conveys nothing;
+// every field is optional because XMem is hint-based.
+type Attributes struct {
+	// Type is the data type of the mapped values.
+	Type DataType
+	// Props are the data-value property flags.
+	Props DataProps
+	// Pattern classifies the access pattern.
+	Pattern PatternType
+	// StrideBytes is the access stride in bytes; meaningful only when
+	// Pattern == PatternRegular.
+	StrideBytes int64
+	// RW is the read-write characteristic.
+	RW RWChar
+	// Intensity conveys access frequency ("hotness") relative to other
+	// atoms: 0 is the lowest, 255 the highest (§3.3).
+	Intensity uint8
+	// Reuse conveys the amount of data reuse relative to other atoms:
+	// 0 means no reuse (§3.3 class 3). The cache uses it to rank pinning
+	// candidates; working-set size is inferred from the mapped size.
+	Reuse uint8
+	// Home relates the data to the thread that predominantly accesses it
+	// (Table 1, NUMA placement: "data partitioning across threads").
+	// Zero means unspecified; HomeThread(t) tags thread t. This attribute
+	// demonstrates §3.3's extensibility: it occupies one of the reserved
+	// bytes of the 19-byte record without a format-version bump.
+	Home uint8
+}
+
+// HomeNone marks data with no expressed thread affinity.
+const HomeNone uint8 = 0
+
+// HomeThread encodes thread t as a Home attribute value.
+func HomeThread(t int) uint8 { return uint8(t + 1) }
+
+// HomeOf decodes a Home value back to a thread index.
+func HomeOf(home uint8) (int, bool) {
+	if home == HomeNone {
+		return 0, false
+	}
+	return int(home - 1), true
+}
+
+// String implements fmt.Stringer.
+func (a Attributes) String() string {
+	s := fmt.Sprintf("type=%v props=%v pattern=%v stride=%d rw=%v intensity=%d reuse=%d",
+		a.Type, a.Props, a.Pattern, a.StrideBytes, a.RW, a.Intensity, a.Reuse)
+	if t, ok := HomeOf(a.Home); ok {
+		s += fmt.Sprintf(" home=thread%d", t)
+	}
+	return s
+}
+
+// EncodedAttrBytes is the size of one attribute record in the atom segment
+// and the GAT: the paper budgets 19 bytes per atom (§4.4).
+const EncodedAttrBytes = 19
+
+// Atom is the hardware-software abstraction of §3.1: a handle tying a set
+// of immutable attributes to a dynamically changing set of address ranges
+// and an active/inactive state. The Atom value itself is the static,
+// compile-time view; mappings and state live in the AMU's tables.
+type Atom struct {
+	// ID is the process-global atom identifier.
+	ID AtomID
+	// Name is the creation-site label (used for reporting; the paper's
+	// compiler derives identity from the CREATE call site).
+	Name string
+	// Attrs are the immutable attributes.
+	Attrs Attributes
+}
+
+// String implements fmt.Stringer.
+func (a Atom) String() string {
+	return fmt.Sprintf("atom %d (%s): %v", a.ID, a.Name, a.Attrs)
+}

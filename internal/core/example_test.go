@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+// identity is a trivial MMU for the examples.
+type identity struct{}
+
+func (identity) Translate(va mem.Addr) (mem.Addr, bool) { return va, true }
+
+// ExampleLib_CreateAtom shows the CREATE operator: atoms carry immutable
+// attributes and repeat invocations at the same site return the same ID.
+func ExampleLib_CreateAtom() {
+	lib := core.NewLib(nil)
+	a := lib.CreateAtom("kernel.tile", core.Attributes{Reuse: 255})
+	b := lib.CreateAtom("kernel.tile", core.Attributes{Reuse: 255})
+	fmt.Println(a == b, lib.Stats().Creates)
+	// Output: true 1
+}
+
+// ExampleAMU_Lookup walks the full §4.2 path: MAP and ACTIVATE through the
+// library, then an ATOM_LOOKUP from a hardware component's point of view.
+func ExampleAMU_Lookup() {
+	amu := core.NewAMU(identity{}, core.AMUConfig{})
+	lib := core.NewLib(amu)
+	id := lib.CreateAtom("app.buffer", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 64,
+	})
+	lib.AtomMap(id, 0x10000, 4096)
+
+	if _, ok := amu.Lookup(0x10000); !ok {
+		fmt.Println("inactive: no attributes visible")
+	}
+	lib.AtomActivate(id)
+	got, ok := amu.Lookup(0x10000)
+	fmt.Println(ok, got == id)
+	// Output:
+	// inactive: no attributes visible
+	// true true
+}
+
+// ExampleEncodeSegment shows the compiler/OS handshake of §3.5.2: atoms are
+// summarized into a versioned segment and loaded into the GAT at exec time.
+func ExampleEncodeSegment() {
+	lib := core.NewLib(nil)
+	lib.CreateAtom("graph.edges", core.Attributes{
+		Type:    core.TypeInt32,
+		Props:   core.PropIndex,
+		Pattern: core.PatternIrregular,
+	})
+	segment := lib.Segment()
+
+	atoms, err := core.DecodeSegment(segment)
+	if err != nil {
+		panic(err)
+	}
+	gat := core.NewGAT()
+	gat.LoadAtoms(atoms)
+	fmt.Println(gat.Len(), gat.Attributes(0).Pattern)
+	// Output: 1 IRREGULAR
+}
+
+// ExampleTranslatePrefetch shows attribute translation (§3.4): high-level
+// attributes become the simple primitives a prefetcher stores in its PAT.
+func ExampleTranslatePrefetch() {
+	gat := core.NewGAT()
+	gat.LoadAtoms([]core.Atom{{ID: 0, Attrs: core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 128,
+	}}})
+	pat := core.TranslatePrefetch(gat)
+	attr, _ := pat.Lookup(0)
+	fmt.Println(attr.Prefetchable, attr.StrideLines)
+	// Output: true 2
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"xmem/internal/mem"
+)
+
+// LibStats counts the application-side cost of using XMemLib (§4.4
+// "Instruction overhead").
+type LibStats struct {
+	// Creates counts CreateAtom call sites resolved (compile-time work,
+	// free at runtime).
+	Creates uint64
+	// RuntimeOps counts MAP/UNMAP/ACTIVATE/DEACTIVATE library calls.
+	RuntimeOps uint64
+	// Instructions is the number of extra dynamic instructions those ops
+	// executed (register setup plus the XMem ISA instruction itself).
+	Instructions uint64
+	// AttrConflicts counts CreateAtom calls that reused an existing
+	// creation site with different attributes; the original attributes
+	// win because atom attributes are immutable (§3.2).
+	AttrConflicts uint64
+}
+
+// Instruction cost per library call: the AMU-specific parameter registers
+// plus one XMem ISA instruction (§4.1.3). Mapping calls carry up to five
+// parameters; activate/deactivate carry one.
+const (
+	mapOpInstructions    = 6
+	statusOpInstructions = 2
+)
+
+// Lib is XMemLib (§4.1.1): the application's interface to XMem. It exposes
+// the three operator classes of Table 2 — CREATE, MAP/UNMAP, and
+// ACTIVATE/DEACTIVATE — as function calls. CREATE is resolved statically
+// (the compiler summarizes atoms into the atom segment); MAP and ACTIVATE
+// translate to ISA instructions executed by the AMU at runtime.
+//
+// A Lib with a nil AMU supports software-only deployments such as the DRAM
+// placement use case (§6), where the OS consumes the atom segment and the
+// allocator interface without any XMem hardware.
+type Lib struct {
+	amu     *AMU
+	atoms   []Atom
+	bySite  map[string]AtomID
+	stats   LibStats
+	sealed  bool
+	maxAtom int
+}
+
+// NewLib returns a library bound to the given AMU (which may be nil for
+// software-only use).
+func NewLib(amu *AMU) *Lib {
+	max := MaxAtoms
+	if amu != nil {
+		max = amu.AST().Capacity()
+	}
+	return &Lib{amu: amu, bySite: make(map[string]AtomID), maxAtom: max}
+}
+
+// NewLibWithAtoms returns a library pre-populated with already-summarized
+// atoms (the runtime view of a program whose CREATE sites were resolved at
+// compile time): CreateAtom calls on the same sites return the existing IDs
+// without counting as new creations.
+func NewLibWithAtoms(amu *AMU, atoms []Atom) *Lib {
+	l := NewLib(amu)
+	for _, a := range atoms {
+		if int(a.ID) != len(l.atoms) {
+			panic("core: NewLibWithAtoms requires consecutive IDs from 0")
+		}
+		l.atoms = append(l.atoms, a)
+		l.bySite[a.Name] = a.ID
+	}
+	return l
+}
+
+// CreateAtom creates an atom with the given immutable attributes and
+// returns its ID (Table 2: CREATE). The site string identifies the creation
+// site in the program; multiple invocations with the same site return the
+// same atom ID without creating a new atom, matching the paper's
+// compile-time summarization of CREATE calls. Attributes passed on repeat
+// invocations are ignored (attributes are immutable; a mismatch is counted
+// in LibStats.AttrConflicts).
+func (l *Lib) CreateAtom(site string, attrs Attributes) AtomID {
+	if id, ok := l.bySite[site]; ok {
+		if l.atoms[id].Attrs != attrs {
+			l.stats.AttrConflicts++
+		}
+		return id
+	}
+	if len(l.atoms) >= l.maxAtom {
+		// Out of atom IDs: return an invalid hint handle. All operator
+		// calls on it are harmless no-ops.
+		return InvalidAtom
+	}
+	id := AtomID(len(l.atoms))
+	l.atoms = append(l.atoms, Atom{ID: id, Name: site, Attrs: attrs})
+	l.bySite[site] = id
+	l.stats.Creates++
+	return id
+}
+
+// Atoms returns the statically-created atoms in ID order — the content of
+// the atom segment.
+func (l *Lib) Atoms() []Atom {
+	out := make([]Atom, len(l.atoms))
+	copy(out, l.atoms)
+	return out
+}
+
+// Segment serializes the created atoms into an atom segment (§3.5.2).
+func (l *Lib) Segment() []byte { return EncodeSegment(l.atoms) }
+
+// Stats returns the cumulative library-side cost counters.
+func (l *Lib) Stats() LibStats { return l.stats }
+
+func (l *Lib) countOp(instructions uint64) {
+	l.stats.RuntimeOps++
+	l.stats.Instructions += instructions
+}
+
+func (l *Lib) valid(id AtomID) bool { return int(id) < len(l.atoms) }
+
+// AtomMap maps [start, start+size) to the atom (Table 2: MAP, 1D).
+func (l *Lib) AtomMap(id AtomID, start mem.Addr, size uint64) {
+	if !l.valid(id) {
+		return
+	}
+	l.countOp(mapOpInstructions)
+	if l.amu != nil {
+		l.amu.ExecMap(id, start, size)
+	}
+}
+
+// AtomUnmap removes the atom's mapping over [start, start+size).
+func (l *Lib) AtomUnmap(id AtomID, start mem.Addr, size uint64) {
+	if !l.valid(id) {
+		return
+	}
+	l.countOp(mapOpInstructions)
+	if l.amu != nil {
+		l.amu.ExecUnmap(id, start, size)
+	}
+}
+
+// AtomMap2D maps a 2D block of width sizeX bytes and sizeY rows, in a
+// structure whose row length is lenX bytes (Table 2: MAP, 2D).
+func (l *Lib) AtomMap2D(id AtomID, start mem.Addr, sizeX, sizeY, lenX uint64) {
+	if !l.valid(id) {
+		return
+	}
+	l.countOp(mapOpInstructions)
+	if l.amu != nil {
+		l.amu.ExecMap2D(id, start, sizeX, sizeY, lenX)
+	}
+}
+
+// AtomUnmap2D removes a 2D block mapping.
+func (l *Lib) AtomUnmap2D(id AtomID, start mem.Addr, sizeX, sizeY, lenX uint64) {
+	if !l.valid(id) {
+		return
+	}
+	l.countOp(mapOpInstructions)
+	if l.amu != nil {
+		l.amu.ExecUnmap2D(id, start, sizeX, sizeY, lenX)
+	}
+}
+
+// AtomMap3D maps a 3D block: sizeZ planes of sizeY rows of sizeX bytes,
+// with row pitch lenX and plane pitch lenXY (Table 2: MAP, 3D).
+func (l *Lib) AtomMap3D(id AtomID, start mem.Addr, sizeX, sizeY, sizeZ, lenX, lenXY uint64) {
+	if !l.valid(id) {
+		return
+	}
+	l.countOp(mapOpInstructions)
+	if l.amu != nil {
+		l.amu.ExecMap3D(id, start, sizeX, sizeY, sizeZ, lenX, lenXY)
+	}
+}
+
+// AtomUnmap3D removes a 3D block mapping.
+func (l *Lib) AtomUnmap3D(id AtomID, start mem.Addr, sizeX, sizeY, sizeZ, lenX, lenXY uint64) {
+	if !l.valid(id) {
+		return
+	}
+	l.countOp(mapOpInstructions)
+	if l.amu != nil {
+		l.amu.ExecUnmap3D(id, start, sizeX, sizeY, sizeZ, lenX, lenXY)
+	}
+}
+
+// AtomActivate validates the atom's attributes for all data it is mapped to
+// (Table 2: ACTIVATE).
+func (l *Lib) AtomActivate(id AtomID) {
+	if !l.valid(id) {
+		return
+	}
+	l.countOp(statusOpInstructions)
+	if l.amu != nil {
+		l.amu.ExecActivate(id)
+	}
+}
+
+// AtomDeactivate invalidates the atom's attributes (Table 2: DEACTIVATE).
+func (l *Lib) AtomDeactivate(id AtomID) {
+	if !l.valid(id) {
+		return
+	}
+	l.countOp(statusOpInstructions)
+	if l.amu != nil {
+		l.amu.ExecDeactivate(id)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import "xmem/internal/mem"
+
+// The Attribute Translator (§3.4, §4.2 component 3) converts the high-level,
+// architecture-agnostic attributes stored in the GAT into simple primitives
+// each hardware component can act on directly. The translated primitives are
+// stored privately per component in a Private Attribute Table (PAT), indexed
+// by atom ID, at program load time and after context switches.
+
+// CacheAttr is the cache controller's private view of an atom: just enough
+// to run the pinning algorithm of §5.2.
+type CacheAttr struct {
+	// Reuse is the relative reuse ranking (0 = none).
+	Reuse uint8
+	// PinCandidate is true when the atom expresses a high-reuse working
+	// set worth considering for pinning.
+	PinCandidate bool
+	// Bypass is true when the atom expresses no reuse at all, so its
+	// lines should be inserted at the lowest priority.
+	Bypass bool
+}
+
+// PrefetchAttr is the prefetcher's private view of an atom: only
+// prefetchable access-pattern information survives translation (§2.2
+// Challenge 2: "prefetchers ... need only know prefetchable access
+// patterns").
+type PrefetchAttr struct {
+	// Prefetchable is true for REGULAR patterns.
+	Prefetchable bool
+	// StrideLines is the access stride in cache lines (minimum 1).
+	StrideLines int64
+}
+
+// MemCtlAttr is the memory controller's and the OS placement policy's
+// private view of an atom.
+type MemCtlAttr struct {
+	// HighRBL is true when the atom's pattern produces high row-buffer
+	// locality (regular with a row-friendly stride).
+	HighRBL bool
+	// Irregular is true for irregular or non-deterministic patterns that
+	// benefit from being spread across banks for parallelism.
+	Irregular bool
+	// Intensity is the relative access-frequency ranking.
+	Intensity uint8
+}
+
+// CachePAT is the cache controller's private attribute table.
+type CachePAT struct {
+	attrs []CacheAttr
+}
+
+// PrefetchPAT is the prefetcher's private attribute table.
+type PrefetchPAT struct {
+	attrs []PrefetchAttr
+}
+
+// MemCtlPAT is the memory controller's private attribute table.
+type MemCtlPAT struct {
+	attrs []MemCtlAttr
+}
+
+// Lookup returns the translated attributes of atom id.
+func (p *CachePAT) Lookup(id AtomID) (CacheAttr, bool) {
+	if int(id) >= len(p.attrs) {
+		return CacheAttr{}, false
+	}
+	return p.attrs[id], true
+}
+
+// Lookup returns the translated attributes of atom id.
+func (p *PrefetchPAT) Lookup(id AtomID) (PrefetchAttr, bool) {
+	if int(id) >= len(p.attrs) {
+		return PrefetchAttr{}, false
+	}
+	return p.attrs[id], true
+}
+
+// Lookup returns the translated attributes of atom id.
+func (p *MemCtlPAT) Lookup(id AtomID) (MemCtlAttr, bool) {
+	if int(id) >= len(p.attrs) {
+		return MemCtlAttr{}, false
+	}
+	return p.attrs[id], true
+}
+
+// Len returns the number of atoms in the table.
+func (p *CachePAT) Len() int { return len(p.attrs) }
+
+// Len returns the number of atoms in the table.
+func (p *PrefetchPAT) Len() int { return len(p.attrs) }
+
+// Len returns the number of atoms in the table.
+func (p *MemCtlPAT) Len() int { return len(p.attrs) }
+
+// rowFriendlyStrideBytes is the largest stride the translator still
+// classifies as high row-buffer locality: within this stride, consecutive
+// accesses stay in the same DRAM row long enough to amortize activation.
+const rowFriendlyStrideBytes = 256
+
+// TranslateCache builds the cache controller's PAT from the GAT.
+func TranslateCache(g *GAT) *CachePAT {
+	attrs := make([]CacheAttr, g.Len())
+	for i := range attrs {
+		a := g.Attributes(AtomID(i))
+		attrs[i] = CacheAttr{
+			Reuse:        a.Reuse,
+			PinCandidate: a.Reuse > 0,
+			Bypass:       a.Reuse == 0 && a.Pattern == PatternRegular,
+		}
+	}
+	return &CachePAT{attrs: attrs}
+}
+
+// TranslatePrefetch builds the prefetcher's PAT from the GAT.
+func TranslatePrefetch(g *GAT) *PrefetchPAT {
+	attrs := make([]PrefetchAttr, g.Len())
+	for i := range attrs {
+		a := g.Attributes(AtomID(i))
+		if a.Pattern == PatternRegular {
+			stride := a.StrideBytes / mem.LineBytes
+			if stride == 0 {
+				stride = 1
+			}
+			attrs[i] = PrefetchAttr{Prefetchable: true, StrideLines: stride}
+		}
+	}
+	return &PrefetchPAT{attrs: attrs}
+}
+
+// TranslateMemCtl builds the memory controller's / OS placement policy's
+// PAT from the GAT.
+func TranslateMemCtl(g *GAT) *MemCtlPAT {
+	attrs := make([]MemCtlAttr, g.Len())
+	for i := range attrs {
+		a := g.Attributes(AtomID(i))
+		stride := a.StrideBytes
+		if stride < 0 {
+			stride = -stride
+		}
+		attrs[i] = MemCtlAttr{
+			HighRBL:   a.Pattern == PatternRegular && stride <= rowFriendlyStrideBytes,
+			Irregular: a.Pattern == PatternIrregular || a.Pattern == PatternNonDet,
+			Intensity: a.Intensity,
+		}
+	}
+	return &MemCtlPAT{attrs: attrs}
+}

@@ -1,0 +1,181 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xmem/internal/mem"
+)
+
+func TestCoreWorkAdvancesByIssueWidth(t *testing.T) {
+	c := New(Config{IssueWidth: 4})
+	c.Work(8)
+	if c.Now() != 2 {
+		t.Errorf("8 instructions at width 4 -> cycle %d, want 2", c.Now())
+	}
+	c.Work(3) // 3 of 4 slots in cycle 2
+	if c.Now() != 2 {
+		t.Errorf("partial cycle advanced to %d", c.Now())
+	}
+	c.Work(1)
+	if c.Now() != 3 {
+		t.Errorf("filled cycle did not advance: %d", c.Now())
+	}
+}
+
+func TestCoreMemOverlap(t *testing.T) {
+	// Independent 100-cycle accesses overlap inside the window: total time
+	// is ~100 cycles, not 400.
+	c := New(Config{IssueWidth: 4, ROBSize: 128, LQSize: 32, SQSize: 32})
+	for i := 0; i < 4; i++ {
+		c.IssueMem(true, func(at uint64) mem.Result { return mem.Done(at + 100) })
+	}
+	end := c.Finish()
+	if end > 110 {
+		t.Errorf("4 independent misses took %d cycles; want ~101 (MLP)", end)
+	}
+}
+
+func TestCoreROBWindowLimitsMLP(t *testing.T) {
+	// With a 4-entry ROB, only 4 accesses fly at once: 16 accesses of 100
+	// cycles take ~4 rounds.
+	c := New(Config{IssueWidth: 1, ROBSize: 4, LQSize: 32, SQSize: 32})
+	for i := 0; i < 16; i++ {
+		c.IssueMem(true, func(at uint64) mem.Result { return mem.Done(at + 100) })
+	}
+	end := c.Finish()
+	if end < 390 || end > 450 {
+		t.Errorf("16 misses with window 4 took %d cycles; want ~400", end)
+	}
+	if c.Stats().ROBStallCycles == 0 {
+		t.Error("no ROB stalls recorded")
+	}
+}
+
+func TestCoreLQLimitsOutstandingLoads(t *testing.T) {
+	c := New(Config{IssueWidth: 4, ROBSize: 1024, LQSize: 2, SQSize: 32})
+	for i := 0; i < 8; i++ {
+		c.IssueMem(true, func(at uint64) mem.Result { return mem.Done(at + 100) })
+	}
+	end := c.Finish()
+	if end < 390 {
+		t.Errorf("8 loads with LQ 2 finished at %d; LQ not limiting", end)
+	}
+	if c.Stats().LSQStallCycles == 0 {
+		t.Error("no LSQ stalls recorded")
+	}
+}
+
+func TestCoreStoresUseSQ(t *testing.T) {
+	c := New(Config{IssueWidth: 4, ROBSize: 1024, LQSize: 1, SQSize: 32})
+	// Stores must not be limited by the tiny LQ.
+	for i := 0; i < 8; i++ {
+		c.IssueMem(false, func(at uint64) mem.Result { return mem.Done(at + 100) })
+	}
+	end := c.Finish()
+	if end > 110 {
+		t.Errorf("8 stores with SQ 32 took %d; SQ wrongly constrained", end)
+	}
+	if c.Stats().Stores != 8 || c.Stats().Loads != 0 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}
+
+func TestCoreRetireFreesWindow(t *testing.T) {
+	// Fast ops retire as issue advances, so a long stream never stalls.
+	c := New(Config{IssueWidth: 1, ROBSize: 4, LQSize: 4, SQSize: 4})
+	for i := 0; i < 100; i++ {
+		c.IssueMem(true, func(at uint64) mem.Result { return mem.Done(at + 2) })
+	}
+	end := c.Finish()
+	if end > 110 {
+		t.Errorf("width-1 stream of fast loads took %d cycles, want ~100", end)
+	}
+	if c.Stats().ROBStallCycles != 0 {
+		t.Errorf("fast ops caused %d ROB stall cycles", c.Stats().ROBStallCycles)
+	}
+}
+
+func TestCoreFuturesForcedInOrder(t *testing.T) {
+	// Pending futures resolve only when the window forces them.
+	forced := []int{}
+	mk := func(id int, done uint64) mem.Result {
+		var f *mem.Future
+		f = mem.NewFuture(func() {
+			forced = append(forced, id)
+			f.Resolve(done)
+		})
+		return mem.Pending(f)
+	}
+	c := New(Config{IssueWidth: 1, ROBSize: 2, LQSize: 8, SQSize: 8})
+	c.IssueMem(true, func(at uint64) mem.Result { return mk(0, at+50) })
+	c.IssueMem(true, func(at uint64) mem.Result { return mk(1, at+50) })
+	if len(forced) != 0 {
+		t.Fatal("futures forced before window pressure")
+	}
+	c.IssueMem(true, func(at uint64) mem.Result { return mk(2, at+50) })
+	if len(forced) == 0 || forced[0] != 0 {
+		t.Fatalf("forced = %v; oldest must be forced first", forced)
+	}
+	c.Finish()
+	if len(forced) != 3 {
+		t.Errorf("forced = %v; Finish must resolve the rest", forced)
+	}
+}
+
+func TestCoreStats(t *testing.T) {
+	c := New(Config{})
+	c.Work(100)
+	c.IssueMem(true, func(at uint64) mem.Result { return mem.Done(at + 10) })
+	end := c.Finish()
+	st := c.Stats()
+	if st.Instructions != 101 || st.Loads != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Cycles != end || st.IPC() == 0 {
+		t.Errorf("cycles = %d, IPC = %f", st.Cycles, st.IPC())
+	}
+}
+
+func TestCoreDefaultsApplied(t *testing.T) {
+	c := New(Config{})
+	if c.cfg != DefaultConfig() {
+		t.Errorf("config = %+v, want Table 3 defaults", c.cfg)
+	}
+}
+
+func TestCoreCyclesLowerBoundQuick(t *testing.T) {
+	// Cycles can never beat the issue-width bound, and memory completions
+	// never finish before their access returns.
+	check := func(ops []uint8) bool {
+		c := New(Config{})
+		var instrs uint64
+		for _, op := range ops {
+			if op%4 == 0 {
+				c.Work(uint64(op))
+				instrs += uint64(op)
+			} else {
+				lat := uint64(op) * 3
+				c.IssueMem(op%2 == 0, func(at uint64) mem.Result { return mem.Done(at + lat) })
+				instrs++
+			}
+		}
+		end := c.Finish()
+		return end >= instrs/4 && c.Stats().Instructions == instrs
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreWidthScalesThroughput(t *testing.T) {
+	run := func(width int) uint64 {
+		c := New(Config{IssueWidth: width})
+		c.Work(100000)
+		return c.Finish()
+	}
+	if w1, w4 := run(1), run(4); w1 < w4*3 {
+		t.Errorf("width 1 (%d cycles) not ~4x slower than width 4 (%d)", w1, w4)
+	}
+}

@@ -1,0 +1,401 @@
+package dram
+
+import (
+	"fmt"
+
+	"xmem/internal/mem"
+)
+
+// Stats aggregates controller activity.
+type Stats struct {
+	// Reads and Writes count scheduled commands.
+	Reads  uint64
+	Writes uint64
+	// DemandReads excludes prefetches.
+	DemandReads uint64
+	// WriteQueueHits are reads served directly from the write queue.
+	WriteQueueHits uint64
+	// Row-buffer outcomes of scheduled commands.
+	RowHits      uint64
+	RowEmpty     uint64
+	RowConflicts uint64
+	// Latency sums (arrival to data completion), split by type.
+	DemandReadLatencySum uint64
+	WriteLatencySum      uint64
+	// BusBusy accumulates data-bus occupancy across channels (bandwidth
+	// utilisation = BusBusy / (channels × elapsed)).
+	BusBusy uint64
+	// ReadLatency histograms demand-read latencies for percentile
+	// reporting.
+	ReadLatency LatencyHistogram
+}
+
+// RowHitRate returns the fraction of scheduled commands that hit the open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowEmpty + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// AvgDemandReadLatency returns the mean demand-read latency in cycles.
+func (s Stats) AvgDemandReadLatency() float64 {
+	if s.DemandReads == 0 {
+		return 0
+	}
+	return float64(s.DemandReadLatencySum) / float64(s.DemandReads)
+}
+
+// AvgWriteLatency returns the mean write (writeback) latency in cycles.
+func (s Stats) AvgWriteLatency() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.WriteLatencySum) / float64(s.Writes)
+}
+
+// Config assembles a controller.
+type Config struct {
+	Geometry Geometry
+	Timing   Timing
+	// Scheme names the physical address mapping (see SchemeNames).
+	Scheme string
+	// IdealRBL makes every access a row hit — the upper-bound system of
+	// §6.4 ("a system that has perfect RBL").
+	IdealRBL bool
+	// ReadQueueCap bounds the per-channel read queue (0 = 64). When full,
+	// the oldest request is force-scheduled.
+	ReadQueueCap int
+	// WriteDrainHigh is the write-queue level that forces write draining
+	// even when reads are waiting (0 = 32).
+	WriteDrainHigh int
+	// FCFS disables row-hit-first reordering (ablation of the FR-FCFS
+	// scheduler [84]): requests issue strictly oldest-first.
+	FCFS bool
+}
+
+type request struct {
+	addr    mem.Addr
+	kind    mem.AccessKind
+	arrival uint64
+	loc     Location
+	fut     *mem.Future
+}
+
+type bank struct {
+	openRow    int64
+	readyAt    uint64
+	activateAt uint64
+}
+
+type channel struct {
+	banks        []bank
+	banksPerRank int
+	busReadyAt   uint64
+	clock        uint64
+	readQ        []*request
+	writeQ       []*request
+	// draining latches write-drain mode: once the write queue reaches the
+	// high watermark, writes drain in a batch down to the low watermark
+	// rather than ping-ponging rows with interleaved reads.
+	draining bool
+}
+
+// Controller is the memory controller plus the DRAM devices behind it.
+type Controller struct {
+	geom     Geometry
+	timing   Timing
+	mapping  *Mapping
+	idealRBL bool
+	fcfs     bool
+	readCap  int
+	writeHi  int
+	chans    []*channel
+	stats    Stats
+}
+
+// NewController builds a controller, or fails on invalid configuration.
+func NewController(cfg Config) (*Controller, error) {
+	mapping, err := NewMapping(cfg.Scheme, cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Timing.Burst == 0 || cfg.Timing.CAS == 0 {
+		return nil, fmt.Errorf("dram: zero timing parameters")
+	}
+	readCap := cfg.ReadQueueCap
+	if readCap <= 0 {
+		readCap = 64
+	}
+	writeHi := cfg.WriteDrainHigh
+	if writeHi <= 0 {
+		writeHi = 32
+	}
+	c := &Controller{
+		geom:     cfg.Geometry,
+		timing:   cfg.Timing,
+		mapping:  mapping,
+		idealRBL: cfg.IdealRBL,
+		fcfs:     cfg.FCFS,
+		readCap:  readCap,
+		writeHi:  writeHi,
+	}
+	for i := 0; i < cfg.Geometry.Channels; i++ {
+		ch := &channel{
+			banks:        make([]bank, cfg.Geometry.BanksPerChannel()),
+			banksPerRank: cfg.Geometry.BanksPerRank,
+		}
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		c.chans = append(c.chans, ch)
+	}
+	return c, nil
+}
+
+// MustController is NewController for known-good configs.
+func MustController(cfg Config) *Controller {
+	c, err := NewController(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Mapping returns the active address mapping.
+func (c *Controller) Mapping() *Mapping { return c.mapping }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Access implements cache.Lower: reads return a pending Future scheduled
+// under FR-FCFS; writebacks enter the write queue and complete immediately
+// from the requester's point of view.
+func (c *Controller) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr) mem.Result {
+	pa = mem.LineAddr(pa)
+	loc := c.mapping.Map(pa)
+	ch := c.chans[loc.Channel]
+
+	if kind == mem.Writeback {
+		ch.writeQ = append(ch.writeQ, &request{addr: pa, kind: kind, arrival: at, loc: loc})
+		// Bound the write queue so a write-only phase cannot grow it
+		// without limit.
+		for len(ch.writeQ) > 4*c.writeHi {
+			c.step(ch)
+		}
+		return mem.Done(at)
+	}
+
+	req := &request{addr: pa, kind: kind, arrival: at, loc: loc}
+	// Write-queue hit: the line's latest data is in the controller.
+	for _, w := range ch.writeQ {
+		if w.addr == pa {
+			c.stats.WriteQueueHits++
+			if kind.IsDemand() {
+				c.stats.DemandReads++
+				c.stats.DemandReadLatencySum += c.timing.CAS
+			}
+			return mem.Done(at + c.timing.CAS)
+		}
+	}
+	req.fut = mem.NewFuture(func() { c.drainFor(ch, req) })
+	ch.readQ = append(ch.readQ, req)
+	if len(ch.readQ) > c.readCap {
+		c.drainFor(ch, ch.readQ[0])
+	}
+	return mem.Pending(req.fut)
+}
+
+// drainFor steps the channel's scheduler until req completes.
+func (c *Controller) drainFor(ch *channel, req *request) {
+	for !req.fut.Resolved() {
+		if !c.step(ch) {
+			panic("dram: scheduler stalled with unresolved request")
+		}
+	}
+}
+
+// DrainAll schedules every outstanding request (end of simulation).
+func (c *Controller) DrainAll() {
+	for _, ch := range c.chans {
+		for len(ch.readQ) > 0 || len(ch.writeQ) > 0 {
+			if !c.step(ch) {
+				break
+			}
+		}
+	}
+}
+
+// pick returns the index of the request to schedule from q. Under FR-FCFS
+// it is the oldest row hit if any bank row matches, otherwise the oldest
+// request; under plain FCFS, always the oldest. Only requests that have
+// arrived by the channel clock are eligible.
+func (ch *channel) pick(q []*request, fcfs bool) int {
+	oldest, oldestHit := -1, -1
+	for i, r := range q {
+		if r.arrival > ch.clock {
+			continue
+		}
+		if oldest == -1 || r.arrival < q[oldest].arrival {
+			oldest = i
+		}
+		if fcfs {
+			continue
+		}
+		if ch.banks[ch.bankIndex(r.loc)].openRow == int64(r.loc.Row) {
+			if oldestHit == -1 || r.arrival < q[oldestHit].arrival {
+				oldestHit = i
+			}
+		}
+	}
+	if oldestHit >= 0 {
+		return oldestHit
+	}
+	return oldest
+}
+
+// pickWriteReadIdle picks the best arrived write targeting a bank with no
+// arrived read, or -1 when every write's bank has read traffic.
+func (ch *channel) pickWriteReadIdle(fcfs bool) int {
+	var readBanks uint64
+	for _, r := range ch.readQ {
+		if r.arrival <= ch.clock {
+			readBanks |= 1 << uint(ch.bankIndex(r.loc))
+		}
+	}
+	best, bestHit := -1, -1
+	for i, w := range ch.writeQ {
+		if w.arrival > ch.clock || readBanks&(1<<uint(ch.bankIndex(w.loc))) != 0 {
+			continue
+		}
+		if best == -1 || w.arrival < ch.writeQ[best].arrival {
+			best = i
+		}
+		if !fcfs && ch.banks[ch.bankIndex(w.loc)].openRow == int64(w.loc.Row) {
+			if bestHit == -1 || w.arrival < ch.writeQ[bestHit].arrival {
+				bestHit = i
+			}
+		}
+	}
+	if bestHit >= 0 {
+		return bestHit
+	}
+	return best
+}
+
+// step performs one scheduling action on the channel: issue one command or
+// advance the clock to the next arrival. It returns false when the channel
+// has nothing left to do.
+func (c *Controller) step(ch *channel) bool {
+	readIdx := ch.pick(ch.readQ, c.fcfs)
+	writeIdx := ch.pick(ch.writeQ, c.fcfs)
+
+	if writeIdx >= 0 && readIdx >= 0 {
+		// Prefer writes whose bank has no waiting read: draining them
+		// costs the read streams nothing (bank-aware write scheduling).
+		if idle := ch.pickWriteReadIdle(c.fcfs); idle >= 0 {
+			writeIdx = idle
+		}
+	}
+
+	switch {
+	case readIdx < 0 && writeIdx < 0:
+		// Nothing has arrived: jump to the earliest arrival.
+		next := uint64(0)
+		found := false
+		for _, r := range ch.readQ {
+			if !found || r.arrival < next {
+				next, found = r.arrival, true
+			}
+		}
+		for _, r := range ch.writeQ {
+			if !found || r.arrival < next {
+				next, found = r.arrival, true
+			}
+		}
+		if !found {
+			return false
+		}
+		ch.clock = next
+		return true
+	case writeIdx >= 0 && (readIdx < 0 || ch.draining || len(ch.writeQ) >= c.writeHi):
+		// Writes drain opportunistically when no read waits, and in
+		// batches (high watermark down to low) otherwise.
+		if len(ch.writeQ) >= c.writeHi {
+			ch.draining = true
+		}
+		c.issue(ch, ch.writeQ[writeIdx])
+		ch.writeQ = append(ch.writeQ[:writeIdx], ch.writeQ[writeIdx+1:]...)
+		if len(ch.writeQ) <= c.writeHi/4 {
+			ch.draining = false
+		}
+	default:
+		c.issue(ch, ch.readQ[readIdx])
+		ch.readQ = append(ch.readQ[:readIdx], ch.readQ[readIdx+1:]...)
+	}
+	return true
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// issue models the bank and bus timing of one command.
+func (c *Controller) issue(ch *channel, r *request) {
+	b := &ch.banks[ch.bankIndex(r.loc)]
+	start := max64(max64(ch.clock, r.arrival), b.readyAt)
+
+	var lat uint64
+	switch {
+	case c.idealRBL || b.openRow == int64(r.loc.Row):
+		c.stats.RowHits++
+		lat = c.timing.CAS
+	case b.openRow < 0:
+		c.stats.RowEmpty++
+		lat = c.timing.RCD + c.timing.CAS
+		b.activateAt = start
+	default:
+		c.stats.RowConflicts++
+		// Precharge may not begin before tRAS after the last activate.
+		pre := max64(start, b.activateAt+c.timing.RAS)
+		lat = (pre - start) + c.timing.RP + c.timing.RCD + c.timing.CAS
+		b.activateAt = pre + c.timing.RP
+	}
+	b.openRow = int64(r.loc.Row)
+	if r.kind == mem.Writeback {
+		lat += c.timing.WritePenalty
+	}
+
+	dataAt := max64(start+lat, ch.busReadyAt)
+	done := dataAt + c.timing.Burst
+	ch.busReadyAt = done
+	// Column commands pipeline: the bank can accept the next CAS one
+	// burst after this one issued (tCCD), so consecutive row hits stream
+	// at the bus rate rather than serializing on the access latency.
+	casAt := start + lat - c.timing.CAS
+	b.readyAt = casAt + c.timing.Burst
+	ch.clock = start
+	c.stats.BusBusy += c.timing.Burst
+
+	if r.kind == mem.Writeback {
+		c.stats.Writes++
+		c.stats.WriteLatencySum += done - r.arrival
+		return
+	}
+	c.stats.Reads++
+	if r.kind.IsDemand() {
+		c.stats.DemandReads++
+		c.stats.DemandReadLatencySum += done - r.arrival
+		c.stats.ReadLatency.Observe(done - r.arrival)
+	}
+	r.fut.Resolve(done)
+}
+
+// bankIndexIn returns the per-channel (rank-major) bank index.
+func (ch *channel) bankIndex(l Location) int {
+	return l.Rank*ch.banksPerRank + l.Bank
+}

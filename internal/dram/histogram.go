@@ -1,0 +1,90 @@
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// LatencyHistogram accumulates request latencies in logarithmic buckets
+// (bucket i holds latencies in [2^i, 2^(i+1))), cheap enough to keep per
+// controller and precise enough for percentile reporting — the paper
+// reports average memory latency (Figure 8); the tail percentiles expose
+// what placement does to the worst requests.
+type LatencyHistogram struct {
+	buckets [40]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one latency.
+func (h *LatencyHistogram) Observe(lat uint64) {
+	i := bits.Len64(lat)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += lat
+	if lat > h.max {
+		h.max = lat
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatencyHistogram) Count() uint64 { return h.count }
+
+// Mean returns the average latency.
+func (h *LatencyHistogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest observed latency.
+func (h *LatencyHistogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound of the p-th percentile (p in [0,100]):
+// the upper edge of the bucket containing it.
+func (h *LatencyHistogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > target {
+			return 1<<uint(i) - 1 // upper edge of bucket i = [2^(i-1), 2^i)
+		}
+	}
+	return h.max
+}
+
+// String renders a compact sparkline-style summary.
+func (h *LatencyHistogram) String() string {
+	if h.count == 0 {
+		return "latency: no samples"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency: n=%d mean=%.0f p50<=%d p95<=%d p99<=%d max=%d",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.max)
+	return b.String()
+}
+
+// Merge folds other into h.
+func (h *LatencyHistogram) Merge(other *LatencyHistogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

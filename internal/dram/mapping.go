@@ -1,0 +1,175 @@
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"xmem/internal/mem"
+)
+
+// Location identifies where a physical address lands in the DRAM organization.
+type Location struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     uint64
+	// Col is the line index within the row (used only for stats).
+	Col uint64
+}
+
+// BankIndex flattens rank and bank into a per-channel bank number.
+func (l Location) BankIndex(g Geometry) int { return l.Rank*g.BanksPerRank + l.Bank }
+
+// GlobalBank flattens channel, rank, and bank into a machine-wide bank id.
+func (l Location) GlobalBank(g Geometry) int {
+	return l.Channel*g.BanksPerChannel() + l.BankIndex(g)
+}
+
+// field identifies one component of the address decomposition.
+type field int
+
+const (
+	fChan field = iota
+	fRank
+	fBank
+	fRow
+	fCol
+)
+
+// Mapping decomposes physical line addresses into DRAM locations. Schemes
+// differ in the LSB-to-MSB order in which address bits feed the fields, and
+// optionally permute the bank index with low row bits (the XOR/permutation
+// schemes of [106, 107]).
+type Mapping struct {
+	name     string
+	orderLSB []field
+	geom     Geometry
+	xorBank  bool
+}
+
+// SchemeNames lists every supported mapping scheme. The first seven are the
+// bit-order permutations (DRAMSim2-style, written MSB:LSB with ro=row,
+// ra=rank, ba=bank, co=column, ch=channel); the final two add bank-index
+// permutation.
+func SchemeNames() []string {
+	return []string{
+		"ro:ra:ba:co:ch", // line-interleaved channels, row-local columns
+		"ro:ra:ba:ch:co", // column-local channels, row chunks per channel
+		"ro:co:ra:ba:ch", // line-interleaved banks (high BLP, low RBL)
+		"ro:ba:ra:co:ch", // like scheme 1 with bank above rank
+		"ch:ra:ba:ro:co", // huge contiguous regions per bank
+		"ch:ro:ra:ba:co", // row-sized chunks striped over banks per channel
+		"ro:ch:ra:ba:co", // row chunks over banks, channels at coarse grain
+		"bank-xor",       // scheme 2 + bank XOR row  [106]
+		"perm",           // scheme 7 + bank permutation  [107]
+	}
+}
+
+// NewMapping builds the named scheme for the given geometry.
+func NewMapping(name string, g Geometry) (*Mapping, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mapping{name: name, geom: g}
+	base := name
+	switch name {
+	case "bank-xor":
+		base = "ro:ra:ba:ch:co"
+		m.xorBank = true
+	case "perm":
+		base = "ro:ch:ra:ba:co"
+		m.xorBank = true
+	}
+	parts := strings.Split(base, ":")
+	if len(parts) != 5 {
+		return nil, fmt.Errorf("dram: unknown mapping scheme %q", name)
+	}
+	seen := map[string]bool{}
+	// parts are MSB-first; consume LSB-first.
+	for i := len(parts) - 1; i >= 0; i-- {
+		var f field
+		switch parts[i] {
+		case "ch":
+			f = fChan
+		case "ra":
+			f = fRank
+		case "ba":
+			f = fBank
+		case "ro":
+			f = fRow
+		case "co":
+			f = fCol
+		default:
+			return nil, fmt.Errorf("dram: unknown mapping field %q in %q", parts[i], name)
+		}
+		if seen[parts[i]] {
+			return nil, fmt.Errorf("dram: duplicate field %q in %q", parts[i], name)
+		}
+		seen[parts[i]] = true
+		m.orderLSB = append(m.orderLSB, f)
+	}
+	return m, nil
+}
+
+// MustMapping is NewMapping for known-good schemes.
+func MustMapping(name string, g Geometry) *Mapping {
+	m, err := NewMapping(name, g)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name returns the scheme name.
+func (m *Mapping) Name() string { return m.name }
+
+func (m *Mapping) fieldBits(f field) int {
+	switch f {
+	case fChan:
+		return bits.Len(uint(m.geom.Channels)) - 1
+	case fRank:
+		return bits.Len(uint(m.geom.RanksPerChannel)) - 1
+	case fBank:
+		return bits.Len(uint(m.geom.BanksPerRank)) - 1
+	case fCol:
+		return bits.Len(uint(m.geom.RowBytes/mem.LineBytes)) - 1
+	default:
+		return bits.Len(uint(m.geom.RowsPerBank())) - 1
+	}
+}
+
+// Map decomposes pa.
+func (m *Mapping) Map(pa mem.Addr) Location {
+	line := mem.LineIndex(pa)
+	var loc Location
+	for _, f := range m.orderLSB {
+		n := m.fieldBits(f)
+		val := line & (1<<uint(n) - 1)
+		line >>= uint(n)
+		switch f {
+		case fChan:
+			loc.Channel = int(val)
+		case fRank:
+			loc.Rank = int(val)
+		case fBank:
+			loc.Bank = int(val)
+		case fRow:
+			loc.Row = val
+		case fCol:
+			loc.Col = val
+		}
+	}
+	if m.xorBank && m.geom.BanksPerRank > 1 {
+		loc.Bank ^= int(loc.Row) & (m.geom.BanksPerRank - 1)
+	}
+	return loc
+}
+
+// FrameLocation maps a page frame (by its base address) to the DRAM bank it
+// starts in. The OS placement policy of §6 uses this view of the underlying
+// resources when choosing frames.
+func (m *Mapping) FrameLocation(frameBase mem.Addr) Location { return m.Map(frameBase) }
+
+// Geometry returns the geometry the mapping was built for.
+func (m *Mapping) Geometry() Geometry { return m.geom }

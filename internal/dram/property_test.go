@@ -1,0 +1,157 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmem/internal/mem"
+)
+
+// TestControllerInvariantsUnderRandomTraffic drives random request streams
+// and checks the timing invariants that must hold regardless of schedule:
+// every read completes no earlier than arrival plus the minimum service
+// time, every future resolves, and the row-outcome counters account for
+// every scheduled command.
+func TestControllerInvariantsUnderRandomTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		cfg := Config{
+			Geometry: DefaultGeometry(),
+			Timing:   DefaultTiming(),
+			Scheme:   SchemeNames()[trial%len(SchemeNames())],
+		}
+		c := MustController(cfg)
+		minService := cfg.Timing.CAS + cfg.Timing.Burst
+
+		type pending struct {
+			arrival uint64
+			res     mem.Result
+		}
+		var reads []pending
+		now := uint64(0)
+		n := 200 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			now += uint64(rng.Intn(100))
+			pa := mem.Addr(rng.Intn(1<<20)) << mem.LineShift
+			if rng.Intn(4) == 0 {
+				c.Access(pa, mem.Writeback, now, 0)
+			} else {
+				kind := mem.Read
+				if rng.Intn(5) == 0 {
+					kind = mem.Prefetch
+				}
+				reads = append(reads, pending{arrival: now, res: c.Access(pa, kind, now, 0)})
+			}
+		}
+		c.DrainAll()
+		for i, p := range reads {
+			done, ok := p.res.Peek()
+			if !ok {
+				done = p.res.Wait()
+			}
+			if done < p.arrival+minService {
+				t.Fatalf("trial %d read %d: done %d < arrival %d + min %d",
+					trial, i, done, p.arrival, minService)
+			}
+		}
+		st := c.Stats()
+		if st.RowHits+st.RowEmpty+st.RowConflicts != st.Reads+st.Writes-st.WriteQueueHits+st.WriteQueueHits-st.WriteQueueHits {
+			// Row outcomes are recorded per scheduled command; write-queue
+			// hits never reach a bank.
+			want := st.Reads + st.Writes
+			if st.RowHits+st.RowEmpty+st.RowConflicts != want {
+				t.Fatalf("trial %d: row outcomes %d != scheduled commands %d",
+					trial, st.RowHits+st.RowEmpty+st.RowConflicts, want)
+			}
+		}
+	}
+}
+
+// TestControllerCompletionsMonotonePerBankRow checks that back-to-back
+// row hits on one bank complete in issue order, spaced at least one burst
+// apart (bus occupancy is conserved).
+func TestControllerCompletionsMonotonePerBankRow(t *testing.T) {
+	g := Geometry{Channels: 1, RanksPerChannel: 1, BanksPerRank: 8,
+		RowBytes: 8 << 10, CapacityBytes: 1 << 30}
+	c := MustController(Config{Geometry: g, Timing: DefaultTiming(), Scheme: "ro:ra:ba:ch:co"})
+	var results []mem.Result
+	for i := 0; i < 64; i++ {
+		results = append(results, c.Access(mem.Addr(i*64), mem.Read, 0, 0))
+	}
+	var prev uint64
+	for i, r := range results {
+		done := r.Wait()
+		if i > 0 && done < prev+DefaultTiming().Burst {
+			t.Fatalf("read %d done %d < prev %d + burst", i, done, prev)
+		}
+		prev = done
+	}
+}
+
+// TestControllerBandwidthBound checks that a saturating stream cannot
+// exceed the configured channel bandwidth.
+func TestControllerBandwidthBound(t *testing.T) {
+	g := Geometry{Channels: 1, RanksPerChannel: 1, BanksPerRank: 8,
+		RowBytes: 8 << 10, CapacityBytes: 1 << 30}
+	tm := DefaultTiming()
+	c := MustController(Config{Geometry: g, Timing: tm, Scheme: "ro:ra:ba:ch:co"})
+	const n = 2000
+	var last mem.Result
+	for i := 0; i < n; i++ {
+		last = c.Access(mem.Addr(i*64), mem.Read, 0, 0)
+	}
+	done := last.Wait()
+	minTime := uint64(n) * tm.Burst // bus-limited floor
+	if done < minTime {
+		t.Fatalf("%d lines served in %d cycles; bus floor is %d", n, done, minTime)
+	}
+	if done > minTime*3/2 {
+		t.Fatalf("sequential stream took %d cycles; want near the bus floor %d", done, minTime)
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	var h LatencyHistogram
+	if h.String() != "latency: no samples" {
+		t.Errorf("empty string = %q", h.String())
+	}
+	if h.Percentile(50) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Errorf("mean = %f, want 500.5", m)
+	}
+	p50 := h.Percentile(50)
+	// Bucketed upper bound: p50 of 1..1000 is ~500, bucket edge 511.
+	if p50 < 500 || p50 > 1023 {
+		t.Errorf("p50 = %d", p50)
+	}
+	if h.Percentile(99) < p50 {
+		t.Error("p99 < p50")
+	}
+	var h2 LatencyHistogram
+	h2.Observe(5000)
+	h.Merge(&h2)
+	if h.Count() != 1001 || h.Max() != 5000 {
+		t.Errorf("after merge count=%d max=%d", h.Count(), h.Max())
+	}
+}
+
+func TestControllerRecordsLatencyHistogram(t *testing.T) {
+	c := testController(t, false)
+	c.Access(addrAt(0, 0, 0), mem.Read, 0, 0).Wait()
+	c.Access(addrAt(0, 0, 1), mem.Read, 1000, 0).Wait()
+	h := c.Stats().ReadLatency
+	if h.Count() != 2 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	if h.Mean() != c.Stats().AvgDemandReadLatency() {
+		t.Errorf("histogram mean %f != stats mean %f", h.Mean(), c.Stats().AvgDemandReadLatency())
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"xmem/internal/sim"
+	"xmem/internal/workload"
+)
+
+// The ablation experiment isolates the design choices DESIGN.md calls out:
+//
+//   - AAM granularity (§4.2): coarser chunks shrink the table but blur the
+//     hints;
+//   - the §5.2 pinning budget (the paper picks 75% "so the cache still has
+//     space to handle other data");
+//   - the XMem prefetcher's run-ahead depth;
+//   - the memory controller's FR-FCFS reordering (vs plain FCFS), which the
+//     lazy-future DRAM model exists to preserve.
+
+// AblationPoint is one knob setting.
+type AblationPoint struct {
+	Knob    string
+	Setting string
+	// Cycles of the system under study and the fixed reference it is
+	// compared against (the reference row repeats per knob).
+	Cycles    uint64
+	RefCycles uint64
+}
+
+// Speedup is reference time over this setting's time.
+func (p AblationPoint) Speedup() float64 { return float64(p.RefCycles) / float64(p.Cycles) }
+
+// AblationResult is the full set of sweeps.
+type AblationResult struct {
+	Preset Preset
+	Points []AblationPoint
+}
+
+// RunAblation sweeps each knob on a thrashing tiled kernel (the regime the
+// XMem machinery exists for) and, for the scheduler knob, additionally on a
+// representative use-case-2 workload.
+func RunAblation(p Preset, progress io.Writer) AblationResult {
+	res := AblationResult{Preset: p}
+	tile := tunedTile(p.UC1Tiles, p.UC1L3) * 2 // past the cache: thrash regime
+	kern := uc1Kernels(p)[0]
+	w := kern.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
+
+	base := sim.MustRun(uc1Config(p, p.UC1L3, false, false), w).Cycles
+	add := func(knob, setting string, cycles uint64) {
+		res.Points = append(res.Points, AblationPoint{
+			Knob: knob, Setting: setting, Cycles: cycles, RefCycles: base,
+		})
+		progressf(progress, "ablation %-14s %-10s cycles=%12d speedup=%.3f\n",
+			knob, setting, cycles, float64(base)/float64(cycles))
+	}
+
+	// AAM granularity.
+	for _, gran := range []uint64{512, 1024, 4096} {
+		cfg := uc1Config(p, p.UC1L3, true, false)
+		cfg.AMU.AAMGranularityBytes = gran
+		add("aam-gran", sizeLabel(gran), sim.MustRun(cfg, w).Cycles)
+	}
+
+	// Pinning budget.
+	for _, frac := range []float64{0.5, 0.75, 0.9} {
+		cfg := uc1Config(p, p.UC1L3, true, false)
+		cfg.L3.PinCapFraction = frac
+		add("pin-cap", fmt.Sprintf("%.0f%%", 100*frac), sim.MustRun(cfg, w).Cycles)
+	}
+
+	// XMem prefetch run-ahead.
+	for _, deg := range []int{4, 16, 32, 64} {
+		cfg := uc1Config(p, p.UC1L3, true, false)
+		cfg.XMemDegree = deg
+		add("pf-degree", fmt.Sprintf("%d", deg), sim.MustRun(cfg, w).Cycles)
+	}
+
+	// Memory scheduler, on a multi-structure use-case-2 workload where
+	// queue reordering matters most.
+	uc2 := uc2Specs(p)
+	if len(uc2) > 0 {
+		spec := uc2[0]
+		for _, s := range uc2 {
+			if s.Name == "leslie3d" {
+				spec = s
+			}
+		}
+		w2 := workload.Synthetic(spec)
+		frRef := sim.MustRun(uc2Config(p, p.XMemSchemes[0], sim.AllocRandom, true, false), w2).Cycles
+		fcfsCfg := uc2Config(p, p.XMemSchemes[0], sim.AllocRandom, true, false)
+		fcfsCfg.FCFS = true
+		fcfs := sim.MustRun(fcfsCfg, w2).Cycles
+		res.Points = append(res.Points,
+			AblationPoint{Knob: "scheduler", Setting: "FR-FCFS", Cycles: frRef, RefCycles: frRef},
+			AblationPoint{Knob: "scheduler", Setting: "FCFS", Cycles: fcfs, RefCycles: frRef},
+		)
+		progressf(progress, "ablation scheduler FR-FCFS=%d FCFS=%d\n", frRef, fcfs)
+	}
+	return res
+}
+
+// Print renders the sweeps.
+func (r AblationResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablations — design-choice sensitivity (preset %s)\n\n", r.Preset.Name)
+	t := &table{}
+	t.add("knob", "setting", "cycles", "speedup vs reference")
+	for _, pt := range r.Points {
+		t.addf("%s\t%s\t%d\t%.3f", pt.Knob, pt.Setting, pt.Cycles, pt.Speedup())
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\nReference for cache knobs: the Baseline system on the same thrashing kernel;")
+	fmt.Fprintln(w, "reference for the scheduler knob: FR-FCFS on the same workload.")
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"xmem/internal/sim"
+	"xmem/internal/workload"
+)
+
+// Fig6Bandwidths are the per-core DRAM bandwidths of the Figure 6 sweep.
+var Fig6Bandwidths = []float64{2e9, 1e9, 0.5e9}
+
+// Fig6Row is one (kernel, bandwidth) point: speedups of the two XMem design
+// points over the Baseline at the largest tile size (§5.4 "Effect of
+// prefetching and cache management").
+type Fig6Row struct {
+	Kernel          string
+	BandwidthPerSec float64
+	BaselineCycles  uint64
+	// XMemPrefCycles uses only XMem-guided prefetching (DRRIP manages the
+	// cache); XMemCycles adds coordinated pinning.
+	XMemPrefCycles uint64
+	XMemCycles     uint64
+}
+
+// PrefSpeedup is Baseline/XMem-Pref.
+func (r Fig6Row) PrefSpeedup() float64 {
+	return float64(r.BaselineCycles) / float64(r.XMemPrefCycles)
+}
+
+// FullSpeedup is Baseline/XMem.
+func (r Fig6Row) FullSpeedup() float64 {
+	return float64(r.BaselineCycles) / float64(r.XMemCycles)
+}
+
+// Fig6Result is the full sweep.
+type Fig6Result struct {
+	Preset Preset
+	Rows   []Fig6Row
+}
+
+// RunFig6 reproduces Figure 6: Baseline vs XMem-Pref vs XMem at the largest
+// tile size, across per-core memory bandwidths.
+func RunFig6(p Preset, progress io.Writer) Fig6Result {
+	res := Fig6Result{Preset: p}
+	largest := p.UC1Tiles[len(p.UC1Tiles)-1]
+	for _, k := range uc1Kernels(p) {
+		w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: largest, Steps: p.UC1Steps})
+		for _, bw := range Fig6Bandwidths {
+			q := p
+			q.UC1BandwidthPerCore = bw
+			base := sim.MustRun(uc1Config(q, p.UC1L3, false, false), w)
+			pref := sim.MustRun(uc1Config(q, p.UC1L3, false, true), w)
+			full := sim.MustRun(uc1Config(q, p.UC1L3, true, false), w)
+			row := Fig6Row{
+				Kernel: k.Name, BandwidthPerSec: bw,
+				BaselineCycles: base.Cycles,
+				XMemPrefCycles: pref.Cycles,
+				XMemCycles:     full.Cycles,
+			}
+			res.Rows = append(res.Rows, row)
+			progressf(progress, "fig6 %-10s bw=%.1fGB/s base=%12d pref=%12d xmem=%12d\n",
+				k.Name, bw/1e9, base.Cycles, pref.Cycles, full.Cycles)
+		}
+	}
+	return res
+}
+
+// GapAt returns the average advantage of full XMem over XMem-Pref at the
+// given bandwidth (paper: 13%, 19.5%, 31% at 2, 1, 0.5 GB/s).
+func (r Fig6Result) GapAt(bw float64) float64 {
+	var gaps []float64
+	for _, row := range r.Rows {
+		if row.BandwidthPerSec == bw {
+			gaps = append(gaps, float64(row.XMemPrefCycles)/float64(row.XMemCycles)-1)
+		}
+	}
+	return mean(gaps)
+}
+
+// Print renders the Figure 6 series.
+func (r Fig6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6 — XMem vs XMem-Pref at the largest tile size (preset %s)\n\n", r.Preset.Name)
+	t := &table{}
+	t.add("kernel", "bw/core", "speedup XMem-Pref", "speedup XMem")
+	for _, row := range r.Rows {
+		t.addf("%s\t%.1fGB/s\t%.3f\t%.3f",
+			row.Kernel, row.BandwidthPerSec/1e9, row.PrefSpeedup(), row.FullSpeedup())
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\nSummary: XMem over XMem-Pref: ")
+	for i, bw := range Fig6Bandwidths {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "+%.1f%% @%.1fGB/s", 100*r.GapAt(bw), bw/1e9)
+	}
+	fmt.Fprintf(w, " (paper: +13%%, +19.5%%, +31%%)\n")
+}

@@ -1,0 +1,249 @@
+// Package hybrid implements the hybrid-memory placement use case of
+// Table 1: a fast DRAM tier in front of a larger, slower NVM tier with
+// asymmetric write cost. XMem's contribution is the placement policy: the
+// atom attributes (read/write characteristics, access intensity) tell the
+// OS — before first touch and without profiling — which structures belong
+// in the scarce fast tier and which tolerate the NVM (e.g., read-only data,
+// whose placement there avoids the NVM's write asymmetry entirely).
+package hybrid
+
+import (
+	"fmt"
+
+	"xmem/internal/core"
+	"xmem/internal/dram"
+	"xmem/internal/kernel"
+	"xmem/internal/mem"
+)
+
+// Tier identifies a memory tier.
+type Tier int
+
+// Tiers.
+const (
+	// TierDRAM is the fast tier (preferred bank group 0).
+	TierDRAM Tier = iota
+	// TierNVM is the capacity tier (preferred bank group 1).
+	TierNVM
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	if t == TierDRAM {
+		return "DRAM"
+	}
+	return "NVM"
+}
+
+// Config sizes the two tiers.
+type Config struct {
+	// DRAM and NVM configure the two controllers. DRAM capacity is the
+	// fast-tier budget; physical addresses beyond it route to NVM.
+	DRAM dram.Config
+	NVM  dram.Config
+}
+
+// DefaultConfig returns a hybrid system with the given fast-tier capacity
+// and an NVM tier of nvmBytes behind it. Device capacities round up to the
+// next power of two (the geometry's row addressing needs it); the usable
+// budget each tier exposes to the allocator stays exact.
+func DefaultConfig(dramBytes, nvmBytes uint64) Config {
+	g := dram.DefaultGeometry()
+	g.CapacityBytes = nextPow2(dramBytes)
+	n := dram.DefaultGeometry()
+	n.CapacityBytes = nextPow2(nvmBytes)
+	return Config{
+		DRAM: dram.Config{Geometry: g, Timing: dram.DefaultTiming(), Scheme: "ro:ra:ba:co:ch"},
+		NVM:  dram.Config{Geometry: n, Timing: dram.NVMTiming(), Scheme: "ro:ra:ba:co:ch"},
+	}
+}
+
+// nextPow2 rounds up to a power of two, with a floor of one DRAM row per
+// bank so tiny test configurations stay valid.
+func nextPow2(v uint64) uint64 {
+	p := uint64(1 << 20)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// Memory routes line requests to the tier owning the physical address and
+// implements cache.Lower. Addresses in [0, dramBytes) are DRAM; addresses
+// beyond are NVM (rebased so each controller sees addresses within its own
+// capacity).
+type Memory struct {
+	dramCtl *dram.Controller
+	nvmCtl  *dram.Controller
+	split   mem.Addr
+}
+
+// New builds the two controllers.
+func New(cfg Config) (*Memory, error) {
+	d, err := dram.NewController(cfg.DRAM)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: dram tier: %w", err)
+	}
+	n, err := dram.NewController(cfg.NVM)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: nvm tier: %w", err)
+	}
+	return &Memory{dramCtl: d, nvmCtl: n, split: mem.Addr(cfg.DRAM.Geometry.CapacityBytes)}, nil
+}
+
+// Access implements cache.Lower.
+func (m *Memory) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr) mem.Result {
+	if pa < m.split {
+		return m.dramCtl.Access(pa, kind, at, pc)
+	}
+	return m.nvmCtl.Access(pa-m.split, kind, at, pc)
+}
+
+// DrainAll finishes all outstanding requests on both tiers.
+func (m *Memory) DrainAll() {
+	m.dramCtl.DrainAll()
+	m.nvmCtl.DrainAll()
+}
+
+// Mapping returns the fast tier's address mapping (the view bank-aware
+// allocation uses).
+func (m *Memory) Mapping() *dram.Mapping { return m.dramCtl.Mapping() }
+
+// Stats returns the combined counters of both tiers.
+func (m *Memory) Stats() dram.Stats {
+	a, b := m.dramCtl.Stats(), m.nvmCtl.Stats()
+	out := dram.Stats{
+		Reads:                a.Reads + b.Reads,
+		Writes:               a.Writes + b.Writes,
+		DemandReads:          a.DemandReads + b.DemandReads,
+		WriteQueueHits:       a.WriteQueueHits + b.WriteQueueHits,
+		RowHits:              a.RowHits + b.RowHits,
+		RowEmpty:             a.RowEmpty + b.RowEmpty,
+		RowConflicts:         a.RowConflicts + b.RowConflicts,
+		DemandReadLatencySum: a.DemandReadLatencySum + b.DemandReadLatencySum,
+		WriteLatencySum:      a.WriteLatencySum + b.WriteLatencySum,
+		BusBusy:              a.BusBusy + b.BusBusy,
+	}
+	out.ReadLatency.Merge(&a.ReadLatency)
+	out.ReadLatency.Merge(&b.ReadLatency)
+	return out
+}
+
+// TierStats returns the per-tier counters.
+func (m *Memory) TierStats() (dramStats, nvmStats dram.Stats) {
+	return m.dramCtl.Stats(), m.nvmCtl.Stats()
+}
+
+// Allocator hands out frames by tier: group 0 is the DRAM tier, group 1 the
+// NVM tier, so it plugs into kernel.AddressSpace through the standard
+// PlacementPolicy interface (PreferredBanks returning {0} or {1}). With no
+// preference it fills DRAM first — the semantics-blind baseline.
+type Allocator struct {
+	next   [2]uint64
+	limit  [2]uint64
+	baseVA [2]mem.Addr
+}
+
+// NewAllocator covers the two capacities. The NVM tier's frames start at
+// the DRAM device boundary (the rounded capacity), matching the routing
+// split of a Memory built with DefaultConfig for the same sizes.
+func NewAllocator(dramBytes, nvmBytes uint64) *Allocator {
+	return &Allocator{
+		limit:  [2]uint64{dramBytes / mem.PageBytes, nvmBytes / mem.PageBytes},
+		baseVA: [2]mem.Addr{0, mem.Addr(nextPow2(dramBytes))},
+	}
+}
+
+// AllocFrame implements kernel.FrameAllocator.
+func (a *Allocator) AllocFrame(preferred []int) (mem.Addr, error) {
+	order := []int{0, 1} // DRAM first by default
+	if len(preferred) > 0 {
+		order = order[:0]
+		for _, p := range preferred {
+			if p == 0 || p == 1 {
+				order = append(order, p)
+			}
+		}
+		// Fall back to the other tier rather than failing.
+		for _, t := range []int{0, 1} {
+			seen := false
+			for _, p := range order {
+				if p == t {
+					seen = true
+				}
+			}
+			if !seen {
+				order = append(order, t)
+			}
+		}
+	}
+	for _, t := range order {
+		if a.next[t] < a.limit[t] {
+			f := a.next[t]
+			a.next[t]++
+			return a.baseVA[t] + mem.Addr(f*mem.PageBytes), nil
+		}
+	}
+	return 0, kernel.ErrOutOfMemory
+}
+
+// FreeFrames implements kernel.FrameAllocator.
+func (a *Allocator) FreeFrames() int {
+	return int(a.limit[0] - a.next[0] + a.limit[1] - a.next[1])
+}
+
+// FrameTier reports which tier a frame belongs to.
+func (a *Allocator) FrameTier(frame mem.Addr) Tier {
+	if frame < a.baseVA[1] {
+		return TierDRAM
+	}
+	return TierNVM
+}
+
+// Placement is the XMem tier policy (Table 1, hybrid memories): structures
+// that are written, or hot, deserve the fast tier; read-only and cold data
+// goes to NVM, where the write asymmetry cannot hurt it.
+type Placement struct {
+	tiers map[core.AtomID]Tier
+}
+
+// hotThreshold is the intensity above which even read-only data earns DRAM.
+const hotThreshold = 170
+
+// NewPlacement decides a tier per atom from the atom segment.
+func NewPlacement(atoms []core.Atom) *Placement {
+	p := &Placement{tiers: make(map[core.AtomID]Tier, len(atoms))}
+	for _, a := range atoms {
+		p.tiers[a.ID] = decide(a.Attrs)
+	}
+	return p
+}
+
+func decide(attrs core.Attributes) Tier {
+	writes := attrs.RW == core.ReadWrite || attrs.RW == core.WriteOnly
+	switch {
+	case writes:
+		return TierDRAM
+	case attrs.Intensity >= hotThreshold:
+		return TierDRAM
+	default:
+		return TierNVM
+	}
+}
+
+// TierFor returns the atom's tier (NVM-by-default keeps unattributed data
+// out of the scarce fast tier only if it is cold; unknown atoms go to
+// DRAM-first like the baseline).
+func (p *Placement) TierFor(id core.AtomID) (Tier, bool) {
+	t, ok := p.tiers[id]
+	return t, ok
+}
+
+// PreferredBanks implements kernel.PlacementPolicy over the Allocator's
+// tier groups.
+func (p *Placement) PreferredBanks(id core.AtomID) []int {
+	if t, ok := p.tiers[id]; ok {
+		return []int{int(t)}
+	}
+	return nil
+}

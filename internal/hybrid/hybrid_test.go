@@ -1,0 +1,147 @@
+package hybrid
+
+import (
+	"testing"
+
+	"xmem/internal/core"
+	"xmem/internal/dram"
+	"xmem/internal/mem"
+)
+
+func testMemory(t *testing.T) *Memory {
+	t.Helper()
+	m, err := New(DefaultConfig(16<<20, 64<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMemoryRoutesByTier(t *testing.T) {
+	m := testMemory(t)
+	m.Access(0x1000, mem.Read, 0, 0).Wait()        // DRAM
+	m.Access(16<<20+0x1000, mem.Read, 0, 0).Wait() // NVM
+	d, n := m.TierStats()
+	if d.Reads != 1 || n.Reads != 1 {
+		t.Fatalf("tier reads = %d dram, %d nvm; want 1/1", d.Reads, n.Reads)
+	}
+	if s := m.Stats(); s.Reads != 2 {
+		t.Errorf("combined reads = %d", s.Reads)
+	}
+}
+
+func TestNVMSlowerThanDRAM(t *testing.T) {
+	m := testMemory(t)
+	dFast := m.Access(0x0, mem.Read, 0, 0).Wait()
+	dSlow := m.Access(16<<20, mem.Read, 0, 0).Wait()
+	if dSlow <= dFast {
+		t.Errorf("NVM read (%d) not slower than DRAM read (%d)", dSlow, dFast)
+	}
+}
+
+func TestNVMWriteAsymmetry(t *testing.T) {
+	tm := dram.NVMTiming()
+	if tm.WritePenalty == 0 {
+		t.Fatal("NVM timing has no write penalty")
+	}
+	m := testMemory(t)
+	// Open a row in the NVM tier, then compare a read hit with a write.
+	nvm := mem.Addr(16 << 20)
+	m.Access(nvm, mem.Read, 0, 0).Wait()
+	read := m.Access(nvm+64, mem.Read, 100000, 0).Wait() - 100000
+	m.Access(nvm+128, mem.Writeback, 200000, 0)
+	m.DrainAll()
+	_, n := m.TierStats()
+	if n.Writes != 1 {
+		t.Fatalf("nvm writes = %d", n.Writes)
+	}
+	if wl := n.AvgWriteLatency(); wl <= float64(read) {
+		t.Errorf("NVM write latency %.0f <= read latency %d; asymmetry missing", wl, read)
+	}
+}
+
+func TestAllocatorDRAMFirstByDefault(t *testing.T) {
+	a := NewAllocator(2*mem.PageBytes, 4*mem.PageBytes)
+	for i := 0; i < 2; i++ {
+		f, err := a.AllocFrame(nil)
+		if err != nil || a.FrameTier(f) != TierDRAM {
+			t.Fatalf("frame %d: tier %v err %v; want DRAM", i, a.FrameTier(f), err)
+		}
+	}
+	// DRAM exhausted: spills to NVM.
+	f, err := a.AllocFrame(nil)
+	if err != nil || a.FrameTier(f) != TierNVM {
+		t.Fatalf("spill frame: tier %v err %v; want NVM", a.FrameTier(f), err)
+	}
+	if a.FreeFrames() != 3 {
+		t.Errorf("free frames = %d, want 3", a.FreeFrames())
+	}
+}
+
+func TestAllocatorHonoursTierPreference(t *testing.T) {
+	a := NewAllocator(4*mem.PageBytes, 4*mem.PageBytes)
+	f, err := a.AllocFrame([]int{int(TierNVM)})
+	if err != nil || a.FrameTier(f) != TierNVM {
+		t.Fatalf("preferred NVM got tier %v, err %v", a.FrameTier(f), err)
+	}
+	// Preferred tier exhausted falls back.
+	for i := 0; i < 3; i++ {
+		a.AllocFrame([]int{int(TierNVM)})
+	}
+	f, err = a.AllocFrame([]int{int(TierNVM)})
+	if err != nil || a.FrameTier(f) != TierDRAM {
+		t.Fatalf("fallback got tier %v, err %v", a.FrameTier(f), err)
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := NewAllocator(mem.PageBytes, mem.PageBytes)
+	a.AllocFrame(nil)
+	a.AllocFrame(nil)
+	if _, err := a.AllocFrame(nil); err == nil {
+		t.Error("exhausted allocator succeeded")
+	}
+}
+
+func TestPlacementDecisions(t *testing.T) {
+	atoms := []core.Atom{
+		{ID: 0, Name: "hotRW", Attrs: core.Attributes{RW: core.ReadWrite, Intensity: 50}},
+		{ID: 1, Name: "coldRO", Attrs: core.Attributes{RW: core.ReadOnly, Intensity: 20}},
+		{ID: 2, Name: "hotRO", Attrs: core.Attributes{RW: core.ReadOnly, Intensity: 200}},
+		{ID: 3, Name: "writeOnly", Attrs: core.Attributes{RW: core.WriteOnly, Intensity: 10}},
+	}
+	p := NewPlacement(atoms)
+	cases := map[core.AtomID]Tier{
+		0: TierDRAM, // written data avoids NVM write asymmetry
+		1: TierNVM,  // cold read-only belongs in the capacity tier
+		2: TierDRAM, // hot read-only earns fast-tier bandwidth
+		3: TierDRAM,
+	}
+	for id, want := range cases {
+		got, ok := p.TierFor(id)
+		if !ok || got != want {
+			t.Errorf("atom %d -> %v,%v want %v", id, got, ok, want)
+		}
+	}
+	// PlacementPolicy view.
+	if banks := p.PreferredBanks(1); len(banks) != 1 || banks[0] != int(TierNVM) {
+		t.Errorf("PreferredBanks(coldRO) = %v", banks)
+	}
+	if banks := p.PreferredBanks(core.InvalidAtom); banks != nil {
+		t.Errorf("unknown atom banks = %v, want nil (baseline behaviour)", banks)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierDRAM.String() != "DRAM" || TierNVM.String() != "NVM" {
+		t.Error("tier names wrong")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig(16<<20, 64<<20)
+	cfg.NVM.Scheme = "bogus"
+	if _, err := New(cfg); err == nil {
+		t.Error("bad NVM scheme accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Package kernel models the OS pieces XMem interacts with: virtual memory
+// (page tables and frame allocation), the atom-aware memory allocator of
+// §4.1.2 (malloc carries an Atom ID so the OS knows data-structure
+// boundaries before virtual pages are mapped), and the XMem DRAM placement
+// policy of §6.2.
+package kernel
+
+import (
+	"errors"
+	"math/rand"
+
+	"xmem/internal/dram"
+	"xmem/internal/mem"
+)
+
+// ErrOutOfMemory reports frame-allocator exhaustion.
+var ErrOutOfMemory = errors.New("kernel: out of physical frames")
+
+// FrameAllocator hands out physical page frames.
+type FrameAllocator interface {
+	// AllocFrame returns the base address of a free frame. preferredBanks
+	// (per-channel bank indexes) steers bank-aware allocators; others
+	// ignore it. nil means no preference.
+	AllocFrame(preferredBanks []int) (mem.Addr, error)
+	// FreeFrames returns the number of unallocated frames.
+	FreeFrames() int
+}
+
+// SequentialAllocator hands out frames in address order — the simplest
+// possible baseline (Buddy-like contiguity).
+type SequentialAllocator struct {
+	next   uint64
+	frames uint64
+}
+
+// NewSequentialAllocator covers physBytes of memory.
+func NewSequentialAllocator(physBytes uint64) *SequentialAllocator {
+	return &SequentialAllocator{frames: physBytes / mem.PageBytes}
+}
+
+// AllocFrame implements FrameAllocator.
+func (a *SequentialAllocator) AllocFrame([]int) (mem.Addr, error) {
+	if a.next >= a.frames {
+		return 0, ErrOutOfMemory
+	}
+	f := a.next
+	a.next++
+	return mem.Addr(f * mem.PageBytes), nil
+}
+
+// FreeFrames implements FrameAllocator.
+func (a *SequentialAllocator) FreeFrames() int { return int(a.frames - a.next) }
+
+// RandomizedAllocator hands out frames in a seeded random order — the
+// strengthened baseline of §6.3 (randomized virtual-to-physical mapping,
+// shown to beat the Buddy allocator [23]).
+type RandomizedAllocator struct {
+	free []uint64
+}
+
+// NewRandomizedAllocator covers physBytes with a deterministic shuffle.
+func NewRandomizedAllocator(physBytes uint64, seed int64) *RandomizedAllocator {
+	n := physBytes / mem.PageBytes
+	free := make([]uint64, n)
+	for i := range free {
+		free[i] = uint64(i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	return &RandomizedAllocator{free: free}
+}
+
+// AllocFrame implements FrameAllocator.
+func (a *RandomizedAllocator) AllocFrame([]int) (mem.Addr, error) {
+	if len(a.free) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	f := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	return mem.Addr(f * mem.PageBytes), nil
+}
+
+// FreeFrames implements FrameAllocator.
+func (a *RandomizedAllocator) FreeFrames() int { return len(a.free) }
+
+// BankedAllocator groups frames by the DRAM bank they start in (using the
+// controller's address mapping — the OS's knowledge of the underlying
+// resources, §6.1) and serves requests from preferred banks round-robin.
+// Within a bank, frames are handed out in address order, which keeps
+// consecutive pages of a structure in consecutive rows.
+type BankedAllocator struct {
+	groups  [][]uint64 // per bank-group free frames, ascending
+	heads   []int      // next index per group
+	cursor  int        // round-robin position
+	mapping *dram.Mapping
+}
+
+// NewBankedAllocator covers the geometry's capacity. Pages that span banks
+// under the mapping are grouped by the bank of their first line; for the
+// placement use case the scheme must keep a page within one (per-channel)
+// bank group, which every "co"-low scheme does.
+func NewBankedAllocator(mapping *dram.Mapping) *BankedAllocator {
+	g := mapping.Geometry()
+	nGroups := g.BanksPerChannel()
+	a := &BankedAllocator{
+		groups:  make([][]uint64, nGroups),
+		heads:   make([]int, nGroups),
+		mapping: mapping,
+	}
+	frames := g.CapacityBytes / mem.PageBytes
+	for f := uint64(0); f < frames; f++ {
+		loc := mapping.Map(mem.Addr(f * mem.PageBytes))
+		grp := loc.BankIndex(g)
+		a.groups[grp] = append(a.groups[grp], f)
+	}
+	return a
+}
+
+// Groups returns the number of bank groups.
+func (a *BankedAllocator) Groups() int { return len(a.groups) }
+
+// AllocFrame implements FrameAllocator.
+func (a *BankedAllocator) AllocFrame(preferred []int) (mem.Addr, error) {
+	if len(preferred) == 0 {
+		preferred = make([]int, len(a.groups))
+		for i := range preferred {
+			preferred[i] = i
+		}
+	}
+	// Round-robin across the preferred banks, skipping exhausted ones.
+	for i := 0; i < len(preferred); i++ {
+		grp := preferred[(a.cursor+i)%len(preferred)]
+		if grp < 0 || grp >= len(a.groups) {
+			continue
+		}
+		if a.heads[grp] < len(a.groups[grp]) {
+			f := a.groups[grp][a.heads[grp]]
+			a.heads[grp]++
+			a.cursor = (a.cursor + i + 1) % len(preferred)
+			return mem.Addr(f * mem.PageBytes), nil
+		}
+	}
+	// Preferred banks exhausted: fall back to any bank.
+	for grp := range a.groups {
+		if a.heads[grp] < len(a.groups[grp]) {
+			f := a.groups[grp][a.heads[grp]]
+			a.heads[grp]++
+			return mem.Addr(f * mem.PageBytes), nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+// FreeFrames implements FrameAllocator.
+func (a *BankedAllocator) FreeFrames() int {
+	n := 0
+	for g := range a.groups {
+		n += len(a.groups[g]) - a.heads[g]
+	}
+	return n
+}
+
+// FrameBank returns the bank group a frame belongs to.
+func (a *BankedAllocator) FrameBank(frameBase mem.Addr) int {
+	return a.mapping.Map(frameBase).BankIndex(a.mapping.Geometry())
+}

@@ -1,0 +1,96 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmem/internal/dram"
+	"xmem/internal/mem"
+)
+
+// TestAllocatorsNeverDoubleAllocate exhausts each allocator under random
+// preference sequences and checks that every frame is handed out at most
+// once and that the total equals the configured capacity.
+func TestAllocatorsNeverDoubleAllocate(t *testing.T) {
+	g := dram.Geometry{Channels: 2, RanksPerChannel: 1, BanksPerRank: 8,
+		RowBytes: 8 << 10, CapacityBytes: 4 << 20}
+	mk := map[string]func() FrameAllocator{
+		"sequential": func() FrameAllocator { return NewSequentialAllocator(g.CapacityBytes) },
+		"random":     func() FrameAllocator { return NewRandomizedAllocator(g.CapacityBytes, 3) },
+		"banked": func() FrameAllocator {
+			return NewBankedAllocator(dram.MustMapping("ro:ra:ba:co:ch", g))
+		},
+	}
+	rng := rand.New(rand.NewSource(5))
+	wantFrames := int(g.CapacityBytes / mem.PageBytes)
+	for name, make := range mk {
+		a := make()
+		seen := map[mem.Addr]bool{}
+		count := 0
+		for {
+			var pref []int
+			if name == "banked" && rng.Intn(2) == 0 {
+				pref = []int{rng.Intn(8)}
+			}
+			f, err := a.AllocFrame(pref)
+			if err != nil {
+				break
+			}
+			if f%mem.PageBytes != 0 {
+				t.Fatalf("%s: frame %#x not page aligned", name, f)
+			}
+			if uint64(f) >= g.CapacityBytes {
+				t.Fatalf("%s: frame %#x beyond capacity", name, f)
+			}
+			if seen[f] {
+				t.Fatalf("%s: frame %#x allocated twice", name, f)
+			}
+			seen[f] = true
+			count++
+			if count > wantFrames {
+				t.Fatalf("%s: allocated more frames than exist", name)
+			}
+		}
+		if count != wantFrames {
+			t.Errorf("%s: allocated %d frames, capacity holds %d", name, count, wantFrames)
+		}
+		if a.FreeFrames() != 0 {
+			t.Errorf("%s: %d frames still free after exhaustion", name, a.FreeFrames())
+		}
+	}
+}
+
+// TestAddressSpaceTranslationConsistency checks that translations are
+// stable and unique across a set of allocations.
+func TestAddressSpaceTranslationConsistency(t *testing.T) {
+	as := NewAddressSpace(NewRandomizedAllocator(8<<20, 17), nil)
+	type alloc struct {
+		base mem.Addr
+		size uint64
+	}
+	var allocs []alloc
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40; i++ {
+		size := uint64(rng.Intn(8)+1) * mem.PageBytes
+		base, err := as.Malloc("r", size, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs = append(allocs, alloc{base, size})
+	}
+	frames := map[mem.Addr]bool{}
+	for _, a := range allocs {
+		for off := mem.Addr(0); off < mem.Addr(a.size); off += mem.PageBytes {
+			pa1, ok1 := as.Translate(a.base + off)
+			pa2, ok2 := as.Translate(a.base + off)
+			if !ok1 || !ok2 || pa1 != pa2 {
+				t.Fatalf("unstable translation at %#x", a.base+off)
+			}
+			frame := mem.PageAddr(pa1)
+			if frames[frame] {
+				t.Fatalf("frame %#x backs two virtual pages", frame)
+			}
+			frames[frame] = true
+		}
+	}
+}

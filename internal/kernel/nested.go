@@ -1,0 +1,56 @@
+package kernel
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+// NestedSpace models a guest process running under a hypervisor (§4.3):
+// guest-virtual addresses translate through the guest OS' page tables to
+// guest-physical addresses, which translate through the host's mapping to
+// host-physical addresses. XMem needs no changes in this environment — the
+// AMU simply translates through the composed mapping (this type implements
+// core.AddressTranslator) and indexes its global, host-physical AAM with
+// the final address, exactly as §4.3 describes.
+type NestedSpace struct {
+	guest    *AddressSpace
+	host     *AddressSpace
+	hostBase mem.Addr
+}
+
+// guestMemoryAtom tags the host-side allocation backing the guest's
+// physical memory; the host OS sees the whole guest as one region.
+const guestMemoryAtom = core.InvalidAtom
+
+// NewNestedSpace builds a guest whose physical memory is one allocation in
+// the host address space, placed by whatever policy the host uses.
+func NewNestedSpace(host *AddressSpace, guestPhysBytes uint64) (*NestedSpace, error) {
+	hostBase, err := host.Malloc("guest-physmem", guestPhysBytes, guestMemoryAtom)
+	if err != nil {
+		return nil, err
+	}
+	return &NestedSpace{
+		guest:    NewAddressSpace(NewSequentialAllocator(guestPhysBytes), nil),
+		host:     host,
+		hostBase: hostBase,
+	}, nil
+}
+
+// Translate implements core.AddressTranslator: guest VA → guest PA →
+// host PA.
+func (n *NestedSpace) Translate(va mem.Addr) (mem.Addr, bool) {
+	gpa, ok := n.guest.Translate(va)
+	if !ok {
+		return 0, false
+	}
+	return n.host.Translate(n.hostBase + gpa)
+}
+
+// Malloc allocates in the guest (the guest OS' allocator; §4.3's guest-side
+// CREATE/load flow is unchanged).
+func (n *NestedSpace) Malloc(name string, size uint64, atom core.AtomID) (mem.Addr, error) {
+	return n.guest.Malloc(name, size, atom)
+}
+
+// Guest exposes the guest address space (for inspecting regions).
+func (n *NestedSpace) Guest() *AddressSpace { return n.guest }

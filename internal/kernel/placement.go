@@ -1,0 +1,122 @@
+package kernel
+
+import (
+	"sort"
+
+	"xmem/internal/core"
+)
+
+// IsolationIntensityThreshold is the minimum access intensity an atom needs
+// before the placement algorithm dedicates a bank to it: isolating a cold
+// structure would waste a bank and reduce overall MLP (§6.2: the algorithm
+// isolates high-RBL structures "while ensuring that their access frequencies
+// are high enough that allocating a bank for them does not reduce the
+// overall MLP").
+const IsolationIntensityThreshold = 32
+
+// XMemPlacement is the OS DRAM placement policy of §6.2: it reads the atom
+// attributes from the program's atom segment, dedicates banks to hot
+// high-row-buffer-locality data structures (isolating them from interfering
+// accesses), and spreads every other structure — in particular irregular
+// ones — across the remaining banks to maximize bank-level parallelism.
+type XMemPlacement struct {
+	isolated map[core.AtomID][]int
+	shared   []int
+}
+
+// NewXMemPlacement computes the bank assignment for the given atoms over
+// bankGroups per-channel bank groups. Isolated structures receive banks in
+// proportion to their expressed access intensity — a structure carrying most
+// of the traffic needs several banks of its own, or isolation would trade
+// row locality for a bank-parallelism bottleneck (the MLP concern of §6.2).
+// At least a quarter of the banks always remain in the shared pool.
+func NewXMemPlacement(atoms []core.Atom, bankGroups int) *XMemPlacement {
+	g := core.NewGAT()
+	g.LoadAtoms(atoms)
+	pat := core.TranslateMemCtl(g)
+
+	type cand struct {
+		id        core.AtomID
+		intensity uint8
+	}
+	var cands []cand
+	totalIntensity := 0
+	for _, a := range atoms {
+		attr, ok := pat.Lookup(a.ID)
+		if !ok {
+			continue
+		}
+		totalIntensity += int(attr.Intensity)
+		if attr.HighRBL && attr.Intensity >= IsolationIntensityThreshold {
+			cands = append(cands, cand{id: a.ID, intensity: attr.Intensity})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].intensity != cands[j].intensity {
+			return cands[i].intensity > cands[j].intensity
+		}
+		return cands[i].id < cands[j].id
+	})
+
+	p := &XMemPlacement{isolated: make(map[core.AtomID][]int)}
+	minShared := bankGroups / 4
+	if minShared < 1 {
+		minShared = 1
+	}
+	nextBank := bankGroups - 1
+	for _, c := range cands {
+		remaining := nextBank + 1 - minShared
+		if remaining < 1 {
+			break
+		}
+		// Banks proportional to the structure's share of total traffic.
+		want := 1
+		if totalIntensity > 0 {
+			want = int(float64(c.intensity)/float64(totalIntensity)*float64(bankGroups) + 0.5)
+		}
+		if want < 1 {
+			want = 1
+		}
+		if want > remaining {
+			want = remaining
+		}
+		banks := make([]int, 0, want)
+		for k := 0; k < want; k++ {
+			banks = append(banks, nextBank)
+			nextBank--
+		}
+		p.isolated[c.id] = banks
+	}
+	for b := 0; b <= nextBank; b++ {
+		p.shared = append(p.shared, b)
+	}
+	if len(p.shared) == 0 { // degenerate geometry: everything shares bank 0
+		p.shared = []int{0}
+	}
+	return p
+}
+
+// PreferredBanks implements PlacementPolicy.
+func (p *XMemPlacement) PreferredBanks(atom core.AtomID) []int {
+	if banks, ok := p.isolated[atom]; ok {
+		return banks
+	}
+	return p.shared
+}
+
+// IsolatedAtoms returns the atoms that received dedicated banks, sorted.
+func (p *XMemPlacement) IsolatedAtoms() []core.AtomID {
+	ids := make([]core.AtomID, 0, len(p.isolated))
+	for id := range p.isolated {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SharedBanks returns the shared bank pool.
+func (p *XMemPlacement) SharedBanks() []int {
+	out := make([]int, len(p.shared))
+	copy(out, p.shared)
+	return out
+}

@@ -1,0 +1,109 @@
+package kernel
+
+import (
+	"fmt"
+
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+// PlacementPolicy steers where an allocation's pages land in DRAM.
+type PlacementPolicy interface {
+	// PreferredBanks returns the per-channel bank groups pages of the
+	// given atom should be placed in; nil means no preference.
+	PreferredBanks(atom core.AtomID) []int
+}
+
+// Region records one allocation.
+type Region struct {
+	Name string
+	Base mem.Addr
+	Size uint64
+	Atom core.AtomID
+}
+
+// End returns the first address past the region.
+func (r Region) End() mem.Addr { return r.Base + mem.Addr(r.Size) }
+
+// AddressSpace is a process' virtual memory: a page table over a frame
+// allocator, plus the allocator-level atom knowledge of §4.1.2 (malloc takes
+// an Atom ID, so the OS can place data-structure pages deliberately before
+// they are ever touched).
+type AddressSpace struct {
+	pages   map[uint64]mem.Addr // virtual page index -> frame base
+	nextVA  mem.Addr
+	alloc   FrameAllocator
+	policy  PlacementPolicy
+	regions []Region
+}
+
+// vaBase leaves the null page (and then some) unmapped.
+const vaBase = mem.Addr(1 << 20)
+
+// NewAddressSpace builds a process address space over the given allocator.
+// policy may be nil (no placement steering).
+func NewAddressSpace(alloc FrameAllocator, policy PlacementPolicy) *AddressSpace {
+	return &AddressSpace{
+		pages:  make(map[uint64]mem.Addr),
+		nextVA: vaBase,
+		alloc:  alloc,
+		policy: policy,
+	}
+}
+
+// Translate implements core.AddressTranslator.
+func (as *AddressSpace) Translate(va mem.Addr) (mem.Addr, bool) {
+	frame, ok := as.pages[mem.PageIndex(va)]
+	if !ok {
+		return 0, false
+	}
+	return frame + mem.Addr(mem.PageOffset(va)), true
+}
+
+// Malloc allocates size bytes tagged with the given atom and returns the
+// virtual base address. Pages are mapped eagerly so the placement policy
+// applies before first touch (§4.1.2: the augmented allocator lets the OS
+// manipulate the virtual-to-physical mapping without extra system calls).
+// The region is page-aligned with a guard page after it.
+func (as *AddressSpace) Malloc(name string, size uint64, atom core.AtomID) (mem.Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("kernel: zero-size malloc of %q", name)
+	}
+	base := as.nextVA
+	npages := (size + mem.PageBytes - 1) / mem.PageBytes
+	var preferred []int
+	if as.policy != nil {
+		preferred = as.policy.PreferredBanks(atom)
+	}
+	for p := uint64(0); p < npages; p++ {
+		frame, err := as.alloc.AllocFrame(preferred)
+		if err != nil {
+			return 0, fmt.Errorf("kernel: malloc %q: %w", name, err)
+		}
+		as.pages[mem.PageIndex(base)+p] = frame
+	}
+	as.nextVA = base + mem.Addr(npages+1)*mem.PageBytes // +1 guard page
+	as.regions = append(as.regions, Region{Name: name, Base: base, Size: size, Atom: atom})
+	return base, nil
+}
+
+// Regions returns the allocations in order.
+func (as *AddressSpace) Regions() []Region {
+	out := make([]Region, len(as.regions))
+	copy(out, as.regions)
+	return out
+}
+
+// RegionAtom returns the atom of the region containing va — the OS-side
+// static VA-to-atom mapping exposed by the allocator interface (§4.1.2).
+func (as *AddressSpace) RegionAtom(va mem.Addr) (core.AtomID, bool) {
+	for _, r := range as.regions {
+		if va >= r.Base && va < r.End() {
+			return r.Atom, true
+		}
+	}
+	return core.InvalidAtom, false
+}
+
+// MappedPages returns the number of mapped virtual pages.
+func (as *AddressSpace) MappedPages() int { return len(as.pages) }

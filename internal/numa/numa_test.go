@@ -1,0 +1,136 @@
+package numa
+
+import (
+	"testing"
+
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+func testMemory(t *testing.T) *Memory {
+	t.Helper()
+	m, err := New(Config{Nodes: 2, NodeBytes: 16 << 20, RemoteLatency: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRemotePenalty(t *testing.T) {
+	m := testMemory(t)
+	local := m.access(0, 0x1000, mem.Read, 0, 0).Wait()
+	remote := m.access(1, 0x1000, mem.Read, 100000, 0).Wait() - 100000
+	// Remote pays the penalty twice (request + response), and the row is
+	// already open on the second access, so compare conservatively.
+	if remote <= local {
+		t.Errorf("remote %d <= local %d", remote, local)
+	}
+	if f := m.RemoteFraction(); f != 0.5 {
+		t.Errorf("remote fraction = %.2f, want 0.5", f)
+	}
+}
+
+func TestNodeRouting(t *testing.T) {
+	m := testMemory(t)
+	m.access(0, 0x1000, mem.Read, 0, 0).Wait()
+	m.access(0, mem.Addr(16<<20)+0x1000, mem.Read, 0, 0).Wait()
+	m.DrainAll()
+	if m.nodes[0].Stats().Reads != 1 || m.nodes[1].Stats().Reads != 1 {
+		t.Errorf("node reads = %d, %d; want 1 each",
+			m.nodes[0].Stats().Reads, m.nodes[1].Stats().Reads)
+	}
+	if m.Stats().Reads != 2 {
+		t.Errorf("combined reads = %d", m.Stats().Reads)
+	}
+}
+
+func TestWritebackRequestSidePenaltyOnly(t *testing.T) {
+	// A posted write pays the interconnect once (request side) but never
+	// waits for a response.
+	m := testMemory(t)
+	d := m.access(1, 0x1000, mem.Writeback, 50, 0).Wait()
+	if d != 50+100 {
+		t.Errorf("remote writeback ack = %d, want arrival+penalty = 150", d)
+	}
+	dl := m.access(0, 0x2000, mem.Writeback, 50, 0).Wait()
+	if dl != 50 {
+		t.Errorf("local writeback ack = %d, want 50", dl)
+	}
+}
+
+func TestNewRejectsBadNodeCount(t *testing.T) {
+	if _, err := New(Config{Nodes: 3, NodeBytes: 16 << 20}); err == nil {
+		t.Error("3 nodes accepted")
+	}
+}
+
+func TestAllocatorInterleavesByDefault(t *testing.T) {
+	a := NewAllocator(2, 1<<20)
+	nodes := map[int]int{}
+	for i := 0; i < 8; i++ {
+		f, err := a.AllocFrame(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[a.FrameNode(f)]++
+	}
+	if nodes[0] != 4 || nodes[1] != 4 {
+		t.Errorf("interleave = %v, want 4/4", nodes)
+	}
+}
+
+func TestAllocatorHonoursNodePreference(t *testing.T) {
+	a := NewAllocator(2, 1<<20)
+	for i := 0; i < 8; i++ {
+		f, err := a.AllocFrame([]int{1})
+		if err != nil || a.FrameNode(f) != 1 {
+			t.Fatalf("frame on node %d, err %v", a.FrameNode(f), err)
+		}
+	}
+	// Exhaust node 1 entirely: falls back to node 0.
+	for a.next[1] < a.limit {
+		a.AllocFrame([]int{1})
+	}
+	f, err := a.AllocFrame([]int{1})
+	if err != nil || a.FrameNode(f) != 0 {
+		t.Fatalf("fallback frame on node %d, err %v", a.FrameNode(f), err)
+	}
+}
+
+func TestPlacementUsesHomeAttribute(t *testing.T) {
+	atoms := []core.Atom{
+		{ID: 0, Name: "mine", Attrs: core.Attributes{Home: core.HomeThread(0)}},
+		{ID: 1, Name: "theirs", Attrs: core.Attributes{Home: core.HomeThread(1)}},
+		{ID: 2, Name: "untagged", Attrs: core.Attributes{}},
+	}
+	p := NewPlacement(atoms, 0, nil)
+	if got := p.PreferredBanks(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("atom 0 -> %v", got)
+	}
+	if got := p.PreferredBanks(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("atom 1 -> %v", got)
+	}
+	// Untagged data defaults to the local node.
+	if got := p.PreferredBanks(2); len(got) != 1 || got[0] != 0 {
+		t.Errorf("untagged -> %v", got)
+	}
+	// The same segment interpreted by a process on node 1.
+	p1 := NewPlacement(atoms, 1, nil)
+	if got := p1.PreferredBanks(2); got[0] != 1 {
+		t.Errorf("untagged on node 1 -> %v", got)
+	}
+}
+
+func TestHomeAttributeRoundTrips(t *testing.T) {
+	atoms := []core.Atom{{ID: 0, Name: "x", Attrs: core.Attributes{Home: core.HomeThread(3)}}}
+	decoded, err := core.DecodeSegment(core.EncodeSegment(atoms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th, ok := core.HomeOf(decoded[0].Attrs.Home); !ok || th != 3 {
+		t.Errorf("decoded home = %d,%v, want thread 3", th, ok)
+	}
+	if _, ok := core.HomeOf(core.HomeNone); ok {
+		t.Error("HomeNone decoded as a thread")
+	}
+}

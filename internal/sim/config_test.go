@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestWithUseCase1Bandwidth(t *testing.T) {
+	cfg := PaperConfig(1 << 20)
+	scaled := cfg.WithUseCase1Bandwidth(2.1e9)
+	total := float64(scaled.Geometry.Channels) * scaled.Timing.ChannelBandwidthBytesPerSec()
+	if total < 2.0e9 || total > 2.2e9 {
+		t.Errorf("total bandwidth = %.3g B/s, want ~2.1e9", total)
+	}
+	// Latency parameters are untouched.
+	if scaled.Timing.CAS != cfg.Timing.CAS || scaled.Timing.RCD != cfg.Timing.RCD {
+		t.Error("bandwidth scaling changed latency parameters")
+	}
+}
+
+func TestFastConfigScalesCapacities(t *testing.T) {
+	p := PaperConfig(2 << 20)
+	f := FastConfig(2 << 20)
+	if f.L1D.SizeBytes >= p.L1D.SizeBytes || f.L2.SizeBytes >= p.L2.SizeBytes {
+		t.Error("fast preset did not shrink private caches")
+	}
+	if f.Geometry.CapacityBytes >= p.Geometry.CapacityBytes {
+		t.Error("fast preset did not shrink physical memory")
+	}
+	// Organization and latencies match Table 3.
+	if f.L1D.Latency != p.L1D.Latency || f.L3.Policy != p.L3.Policy {
+		t.Error("fast preset changed latencies or policies")
+	}
+}
+
+func TestConfigDefaultsBuildValidMachines(t *testing.T) {
+	// Every preset-derived config must build without error.
+	for _, cfg := range []Config{
+		PaperConfig(1 << 20),
+		FastConfig(256 << 10),
+		FastConfig(64 << 10),
+	} {
+		if _, err := Run(cfg, streamWorkload(8, 1)); err != nil {
+			t.Errorf("config %+v failed: %v", cfg.L3, err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"xmem/internal/workload"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	// Bit-identical results across runs: the whole stack is seeded and
+	// event-ordered deterministically.
+	w := workload.Gemm(workload.TiledConfig{N: 64, TileBytes: 16 << 10})
+	for _, alloc := range []AllocPolicy{AllocSequential, AllocRandom} {
+		cfg := testConfig()
+		cfg.Alloc = alloc
+		cfg.XMemCache = true
+		r1 := MustRun(cfg, w)
+		r2 := MustRun(cfg, w)
+		if r1.Cycles != r2.Cycles || r1.L3 != r2.L3 || r1.DRAM != r2.DRAM {
+			t.Fatalf("alloc %s nondeterministic: %d vs %d cycles", alloc, r1.Cycles, r2.Cycles)
+		}
+	}
+}
+
+func TestRunGemmPinsOnlyTileAtom(t *testing.T) {
+	cfg := testConfig()
+	cfg.XMemCache = true
+	res := MustRun(cfg, workload.Gemm(workload.TiledConfig{N: 96, TileBytes: 16 << 10}))
+	// The tile atom fits the budget; the full matrices do not: exactly one
+	// atom may be pinned at a time.
+	if res.PinnedAtomsMax != 1 {
+		t.Errorf("max pinned atoms = %d, want 1 (the active tile)", res.PinnedAtomsMax)
+	}
+	if res.L3.PinInserts == 0 {
+		t.Error("no lines were ever pinned")
+	}
+}
+
+func TestRunXMemPrefetchOnlyDesignPoint(t *testing.T) {
+	// XMem-Pref must not pin (DRRIP manages the cache) but must prefetch.
+	cfg := testConfig()
+	cfg.XMemPrefetchOnly = true
+	res := MustRun(cfg, workload.Gemm(workload.TiledConfig{N: 96, TileBytes: 64 << 10}))
+	if res.L3.PinInserts != 0 {
+		t.Errorf("XMem-Pref pinned %d lines; pinning must be off", res.L3.PinInserts)
+	}
+	if res.L3.PrefetchFills == 0 {
+		t.Error("XMem-Pref issued no prefetches")
+	}
+}
+
+func TestRunBaselineIgnoresAtoms(t *testing.T) {
+	// The baseline system runs the same binary (same XMem calls) but no
+	// component consumes the hints: identical instruction stream, no
+	// lookups.
+	w := streamWorkload(512, 2)
+	res := MustRun(testConfig(), w)
+	if res.Lib.RuntimeOps == 0 {
+		t.Fatal("workload made no XMem calls")
+	}
+	if res.AMU.Lookups != 0 {
+		t.Errorf("baseline issued %d ATOM_LOOKUPs; hints must be inert", res.AMU.Lookups)
+	}
+	if res.L3.PinInserts != 0 {
+		t.Error("baseline pinned lines")
+	}
+}
+
+func TestRunHybridMachine(t *testing.T) {
+	cfg := testConfig()
+	cfg.Hybrid = &HybridConfig{DRAMBytes: 4 << 20, NVMBytes: 32 << 20, XMemPlacement: true}
+	res := MustRun(cfg, streamWorkload(4096, 2))
+	if res.TierDRAM == nil || res.TierNVM == nil {
+		t.Fatal("hybrid machine reported no tier stats")
+	}
+	if res.TierDRAM.Reads+res.TierNVM.Reads == 0 {
+		t.Error("no tier traffic")
+	}
+}
+
+func TestRunInstructionAccounting(t *testing.T) {
+	lines, rounds := 256, 3
+	res := MustRun(testConfig(), streamWorkload(lines, rounds))
+	// loads + work(2 per load) + xmem lib instructions.
+	wantMin := uint64(lines * rounds * 3)
+	if res.Instructions < wantMin || res.Instructions > wantMin+100 {
+		t.Errorf("instructions = %d, want ~%d", res.Instructions, wantMin)
+	}
+	if res.Lib.Instructions == 0 {
+		t.Error("lib instructions not counted")
+	}
+}

@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"fmt"
+
+	"xmem/internal/cache"
+	xm "xmem/internal/core"
+	"xmem/internal/cpu"
+	"xmem/internal/dram"
+	"xmem/internal/hybrid"
+	"xmem/internal/kernel"
+	"xmem/internal/mem"
+	"xmem/internal/prefetch"
+	"xmem/internal/workload"
+)
+
+// Result is everything a simulation run reports.
+type Result struct {
+	Workload     string
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+	// L3MPKI is demand L3 misses per thousand instructions.
+	L3MPKI float64
+	CPU    cpu.Stats
+	L1D    cache.Stats
+	L2     cache.Stats
+	L3     cache.Stats
+	DRAM   dram.Stats
+	AMU    xm.AMUStats
+	Lib    xm.LibStats
+	// ALBHitRate is the fraction of ATOM_LOOKUPs served by the ALB.
+	ALBHitRate float64
+	// TierDRAM and TierNVM carry per-tier counters on hybrid-memory
+	// machines (nil otherwise).
+	TierDRAM, TierNVM *dram.Stats
+	// PinnedAtomsMax is the largest pinned-atom set seen (diagnostics).
+	PinnedAtomsMax int
+	// ContextSwitches counts forced context switches.
+	ContextSwitches uint64
+}
+
+// memorySystem is what sits below the L3: a plain DRAM controller or a
+// hybrid DRAM+NVM memory.
+type memorySystem interface {
+	cache.Lower
+	DrainAll()
+	Stats() dram.Stats
+	Mapping() *dram.Mapping
+}
+
+// Machine is one assembled single-core system executing one workload.
+// It implements workload.Program.
+type Machine struct {
+	cfg Config
+	w   workload.Workload
+
+	core *cpu.Core
+	l1d  *cache.Cache
+	l2   *cache.Cache
+	l3   *cache.Cache
+	ctl  memorySystem
+	as   *kernel.AddressSpace
+	amu  *xm.AMU
+	lib  *xm.Lib
+
+	strider *prefetch.MultiStride
+	xmemPf  *prefetch.XMemPrefetcher
+	pins    *pinController
+
+	// yield, when set, is called with the core's current cycle after
+	// every instruction batch; the multi-core scheduler uses it to
+	// interleave cores deterministically.
+	yield func(cycle uint64)
+
+	// Bandwidth monitor for XMem prefetch throttling (§5.1: XMem-guided
+	// prefetching is memory-bandwidth-aware).
+	bwLastBusy  uint64
+	bwLastCycle uint64
+	bwUtil      float64
+
+	// Forced context-switch state (§4.4 sensitivity measurement).
+	nextCtxSwitch uint64
+	ctxSwitches   uint64
+}
+
+// bwWindowCycles is the utilization-sampling window.
+const bwWindowCycles = 4096
+
+// bwThrottleUtil is the data-bus utilization beyond which XMem prefetches
+// are dropped: with the bus saturated, prefetching cannot hide anything and
+// only adds traffic.
+const bwThrottleUtil = 0.93
+
+// busUtilization updates and returns the recent per-channel data-bus
+// utilization.
+func (m *Machine) busUtilization() float64 {
+	now := m.core.Now()
+	if now-m.bwLastCycle >= bwWindowCycles {
+		busy := m.ctl.Stats().BusBusy
+		dc := now - m.bwLastCycle
+		db := busy - m.bwLastBusy
+		m.bwUtil = float64(db) / float64(dc*uint64(m.cfg.Geometry.Channels))
+		m.bwLastBusy, m.bwLastCycle = busy, now
+	}
+	return m.bwUtil
+}
+
+// siteBase synthesizes PCs for workload access sites.
+const siteBase = mem.Addr(0x400000)
+
+func pcForSite(site int) mem.Addr { return siteBase + mem.Addr(site)*4 }
+
+// buildDRAM constructs the memory controller and the frame allocator the
+// OS will draw from. policyAtoms drive the XMem placement policy, which is
+// returned separately because it is per-process.
+func buildDRAM(cfg Config, policyAtoms []xm.Atom) (memorySystem, kernel.FrameAllocator, kernel.PlacementPolicy, error) {
+	if cfg.Hybrid != nil {
+		return buildHybrid(cfg, policyAtoms)
+	}
+	ctl, err := dram.NewController(dram.Config{
+		Geometry: cfg.Geometry,
+		Timing:   cfg.Timing,
+		Scheme:   cfg.Scheme,
+		IdealRBL: cfg.IdealRBL,
+		FCFS:     cfg.FCFS,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var alloc kernel.FrameAllocator
+	var policy kernel.PlacementPolicy
+	switch cfg.Alloc {
+	case AllocSequential, "":
+		alloc = kernel.NewSequentialAllocator(cfg.Geometry.CapacityBytes)
+	case AllocRandom:
+		alloc = kernel.NewRandomizedAllocator(cfg.Geometry.CapacityBytes, cfg.AllocSeed)
+	case AllocXMemPlacement:
+		alloc = kernel.NewBankedAllocator(ctl.Mapping())
+		policy = kernel.NewXMemPlacement(policyAtoms, cfg.Geometry.BanksPerChannel())
+	default:
+		return nil, nil, nil, fmt.Errorf("sim: unknown alloc policy %q", cfg.Alloc)
+	}
+	return ctl, alloc, policy, nil
+}
+
+// buildHybrid assembles the two-tier memory of the Table 1 hybrid-memory
+// use case: DRAM in front of NVM, with tier choice made per atom when XMem
+// placement is enabled and DRAM-first otherwise.
+func buildHybrid(cfg Config, policyAtoms []xm.Atom) (memorySystem, kernel.FrameAllocator, kernel.PlacementPolicy, error) {
+	h := cfg.Hybrid
+	hcfg := hybrid.DefaultConfig(h.DRAMBytes, h.NVMBytes)
+	if cfg.IdealRBL {
+		hcfg.DRAM.IdealRBL = true
+		hcfg.NVM.IdealRBL = true
+	}
+	memsys, err := hybrid.New(hcfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	alloc := hybrid.NewAllocator(h.DRAMBytes, h.NVMBytes)
+	var policy kernel.PlacementPolicy
+	if h.XMemPlacement {
+		policy = hybrid.NewPlacement(policyAtoms)
+	}
+	return memsys, alloc, policy, nil
+}
+
+// declareAtoms performs the compile-time CREATE summarization and the OS'
+// load-time decode.
+func declareAtoms(w workload.Workload) ([]xm.Atom, error) {
+	declLib := xm.NewLib(nil)
+	if w.Declare != nil {
+		w.Declare(declLib)
+	}
+	atoms, err := xm.DecodeSegmentLenient(declLib.Segment())
+	if err != nil {
+		return nil, fmt.Errorf("sim: atom segment: %w", err)
+	}
+	return atoms, nil
+}
+
+// buildMachine assembles one core's private hierarchy over a (possibly
+// shared) DRAM controller and frame allocator.
+func buildMachine(cfg Config, w workload.Workload, atoms []xm.Atom,
+	ctl memorySystem, alloc kernel.FrameAllocator, policy kernel.PlacementPolicy) (*Machine, error) {
+
+	gat := xm.NewGAT()
+	gat.LoadAtoms(atoms)
+	as := kernel.NewAddressSpace(alloc, policy)
+	amu := xm.NewAMU(as, cfg.AMU)
+	amu.SetGAT(gat)
+	lib := xm.NewLibWithAtoms(amu, atoms)
+
+	// Hierarchy: L1D -> L2 -> L3 -> DRAM.
+	l3, err := cache.New(cfg.L3, ctl)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cfg.L2, l3)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.New(cfg.L1D, l2)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Machine{
+		cfg: cfg, w: w, core: cpu.New(cfg.Core),
+		l1d: l1d, l2: l2, l3: l3, ctl: ctl, as: as, amu: amu, lib: lib,
+	}
+	if cfg.StridePrefetch {
+		m.strider = prefetch.NewMultiStride(cfg.StrideEntries, cfg.StrideDegree)
+	}
+	if cfg.XMemCache || cfg.XMemPrefetchOnly {
+		m.xmemPf = prefetch.NewXMem(cfg.XMemDegree)
+		m.xmemPf.SetPAT(xm.TranslatePrefetch(gat))
+		amu.Subscribe(m.xmemPf)
+		m.pins = newPinController(m, xm.TranslateCache(gat), cfg.XMemCache)
+		amu.Subscribe(m.pins)
+		if cfg.XMemCache {
+			l3.SetClassifier(m.classifyL3)
+		}
+	}
+	l3.SetObserver(m.observeL3)
+	return m, nil
+}
+
+// result gathers this core's statistics. DRAM counters come from the
+// attached controller, which is machine-wide when cores share it.
+func (m *Machine) result(cycles uint64) Result {
+	cpuStats := m.core.Stats()
+	l3Stats := m.l3.Stats()
+	libStats := m.lib.Stats()
+	res := Result{
+		Workload: m.w.Name,
+		Cycles:   cycles,
+		// The XMem library calls execute real instructions (§4.4); the
+		// core model does not time them individually, so they are added
+		// to the reported total here.
+		Instructions: cpuStats.Instructions + libStats.Instructions,
+		IPC:          cpuStats.IPC(),
+		CPU:          cpuStats,
+		L1D:          m.l1d.Stats(),
+		L2:           m.l2.Stats(),
+		L3:           l3Stats,
+		DRAM:         m.ctl.Stats(),
+		AMU:          m.amu.Stats(),
+		Lib:          m.lib.Stats(),
+		ALBHitRate:   m.amu.ALB().HitRate(),
+	}
+	if cpuStats.Instructions > 0 {
+		res.L3MPKI = 1000 * float64(l3Stats.ReadMisses+l3Stats.WriteMisses) /
+			float64(cpuStats.Instructions)
+	}
+	res.ContextSwitches = m.ctxSwitches
+	if m.pins != nil {
+		res.PinnedAtomsMax = m.pins.maxPinned
+	}
+	if hm, ok := m.ctl.(*hybrid.Memory); ok {
+		d, n := hm.TierStats()
+		res.TierDRAM, res.TierNVM = &d, &n
+	}
+	return res
+}
+
+// Run builds the machine described by cfg and executes the workload on it.
+func Run(cfg Config, w workload.Workload) (Result, error) {
+	atoms, err := declareAtoms(w)
+	if err != nil {
+		return Result{}, err
+	}
+	ctl, alloc, policy, err := buildDRAM(cfg, atoms)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := buildMachine(cfg, w, atoms, ctl, alloc, policy)
+	if err != nil {
+		return Result{}, err
+	}
+	w.Run(m)
+	cycles := m.core.Finish()
+	ctl.DrainAll()
+	return m.result(cycles), nil
+}
+
+// MustRun is Run for known-good configurations.
+func MustRun(cfg Config, w workload.Workload) Result {
+	r, err := Run(cfg, w)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// --- workload.Program implementation ---
+
+// Load implements workload.Program.
+func (m *Machine) Load(site int, va mem.Addr) { m.access(site, va, true) }
+
+// Store implements workload.Program.
+func (m *Machine) Store(site int, va mem.Addr) { m.access(site, va, false) }
+
+func (m *Machine) access(site int, va mem.Addr, isLoad bool) {
+	if iv := m.cfg.ContextSwitchInterval; iv > 0 && m.core.Now() >= m.nextCtxSwitch {
+		// The process is switched out and back in: the ALB and PATs are
+		// flushed and the GAT/AST pointers reloaded (§4.3). State-wise
+		// the same process returns, so only the flush cost remains.
+		m.amu.ContextSwitch(m.amu.GAT(), m.amu.AST())
+		m.ctxSwitches++
+		m.nextCtxSwitch = m.core.Now() + iv
+	}
+	pa, ok := m.as.Translate(va)
+	if !ok {
+		panic(fmt.Sprintf("sim: access to unmapped VA %#x (site %d); workloads must Malloc first", va, site))
+	}
+	kind := mem.Write
+	if isLoad {
+		kind = mem.Read
+	}
+	pc := pcForSite(site)
+	m.core.IssueMem(isLoad, func(at uint64) mem.Result {
+		return m.l1d.Access(pa, kind, at, pc)
+	})
+	m.drainPrefetchers()
+	if m.yield != nil {
+		m.yield(m.core.Now())
+	}
+}
+
+// Work implements workload.Program.
+func (m *Machine) Work(n int) {
+	m.core.Work(uint64(n))
+	if m.yield != nil {
+		m.yield(m.core.Now())
+	}
+}
+
+// Malloc implements workload.Program.
+func (m *Machine) Malloc(name string, size uint64, atom xm.AtomID) mem.Addr {
+	va, err := m.as.Malloc(name, size, atom)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	return va
+}
+
+// Lib implements workload.Program.
+func (m *Machine) Lib() *xm.Lib { return m.lib }
+
+// --- hierarchy hooks ---
+
+func (m *Machine) observeL3(pa, pc mem.Addr, at uint64, miss bool) {
+	if m.strider != nil {
+		m.strider.Observe(pa, pc, at, miss)
+	}
+	if m.xmemPf != nil {
+		if id, ok := m.amu.Lookup(pa); ok {
+			m.xmemPf.OnAccess(pa, id, at)
+		}
+	}
+}
+
+func (m *Machine) classifyL3(pa mem.Addr, kind mem.AccessKind) cache.Insertion {
+	id, attrs, ok := m.amu.LookupAttributes(pa)
+	if !ok {
+		return cache.Insertion{Atom: xm.InvalidAtom}
+	}
+	ins := cache.Insertion{Atom: id}
+	switch {
+	case m.pins != nil && m.pins.pinned[id]:
+		ins.Pin = true
+	case attrs.Reuse == 0 && attrs.Pattern == xm.PatternRegular:
+		// Expressed streaming data with no reuse: insert at low priority.
+		ins.Pri = cache.InsertLow
+	}
+	return ins
+}
+
+func (m *Machine) drainPrefetchers() {
+	if m.strider != nil {
+		for _, r := range m.strider.Drain() {
+			m.l3.Access(r.Addr, mem.Prefetch, r.At, r.PC)
+		}
+	}
+	if m.xmemPf != nil {
+		reqs := m.xmemPf.Drain()
+		if m.busUtilization() < bwThrottleUtil {
+			for _, r := range reqs {
+				m.l3.Access(r.Addr, mem.Prefetch, r.At, r.PC)
+			}
+		}
+	}
+}

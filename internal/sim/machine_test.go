@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"testing"
+
+	xm "xmem/internal/core"
+	"xmem/internal/mem"
+	"xmem/internal/workload"
+)
+
+// streamWorkload touches `lines` cache lines sequentially, `rounds` times.
+func streamWorkload(lines, rounds int) workload.Workload {
+	return workload.Workload{
+		Name: "stream",
+		Declare: func(lib *xm.Lib) {
+			lib.CreateAtom("stream.buf", xm.Attributes{
+				Pattern: xm.PatternRegular, StrideBytes: 64, Reuse: 200,
+			})
+		},
+		Run: func(p workload.Program) {
+			id := p.Lib().CreateAtom("stream.buf", xm.Attributes{
+				Pattern: xm.PatternRegular, StrideBytes: 64, Reuse: 200,
+			})
+			size := uint64(lines) * mem.LineBytes
+			buf := p.Malloc("buf", size, id)
+			p.Lib().AtomMap(id, buf, size)
+			p.Lib().AtomActivate(id)
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < lines; i++ {
+					p.Load(1, buf+mem.Addr(i*mem.LineBytes))
+					p.Work(2)
+				}
+			}
+			p.Lib().AtomDeactivate(id)
+		},
+	}
+}
+
+func testConfig() Config {
+	cfg := FastConfig(256 << 10)
+	cfg.Geometry.CapacityBytes = 16 << 20
+	return cfg
+}
+
+func TestRunStreamBaseline(t *testing.T) {
+	res, err := Run(testConfig(), streamWorkload(1024, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Instructions == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	// 4096 loads + work + a few xmem ops.
+	if res.CPU.Loads != 4096 {
+		t.Errorf("loads = %d, want 4096", res.CPU.Loads)
+	}
+	// The buffer fits in L3: later rounds hit.
+	if res.L3.ReadMisses > 1100 {
+		t.Errorf("L3 misses = %d; resident buffer should hit after round 1", res.L3.ReadMisses)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC = %f", res.IPC)
+	}
+}
+
+func TestRunStridePrefetcherHelps(t *testing.T) {
+	// A single-pass stream on a core with little natural MLP (small
+	// ROB/LQ): the stride prefetcher supplies the memory parallelism the
+	// window cannot, cutting execution time.
+	big := 4 * (256 << 10) / mem.LineBytes
+	narrow := func(on bool) Config {
+		cfg := testConfig()
+		cfg.Core.ROBSize = 16
+		cfg.Core.LQSize = 2
+		cfg.Core.SQSize = 2
+		cfg.StridePrefetch = on
+		return cfg
+	}
+	off := MustRun(narrow(false), streamWorkload(big, 1))
+	on := MustRun(narrow(true), streamWorkload(big, 1))
+	if on.Cycles >= off.Cycles {
+		t.Errorf("prefetcher on: %d cycles, off: %d; expected speedup", on.Cycles, off.Cycles)
+	}
+	if on.L3.PrefetchFills == 0 {
+		t.Error("no prefetch fills recorded")
+	}
+	if on.L3.DelayedHits == 0 {
+		t.Error("no delayed hits: prefetches never arrived ahead of demand")
+	}
+}
+
+func TestRunXMemModeTracksAtoms(t *testing.T) {
+	cfg := testConfig()
+	cfg.XMemCache = true
+	res := MustRun(cfg, streamWorkload(512, 4))
+	if res.AMU.MapOps == 0 || res.AMU.ActivateOps == 0 {
+		t.Errorf("AMU ops = %+v; workload atom calls not reaching AMU", res.AMU)
+	}
+	if res.AMU.Lookups == 0 {
+		t.Error("no ATOM_LOOKUPs issued by the hierarchy")
+	}
+	if res.ALBHitRate == 0 {
+		t.Error("ALB hit rate is zero despite lookups")
+	}
+	if res.PinnedAtomsMax == 0 {
+		t.Error("high-reuse mapped atom was never pinned")
+	}
+	if res.Lib.RuntimeOps == 0 {
+		t.Error("lib runtime ops not counted")
+	}
+}
+
+func TestRunUnmappedAccessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access to unmapped VA did not panic")
+		}
+	}()
+	MustRun(testConfig(), workload.Workload{
+		Name: "bad",
+		Run:  func(p workload.Program) { p.Load(0, 0xDEAD000) },
+	})
+}
+
+func TestRunAllocPolicies(t *testing.T) {
+	for _, pol := range []AllocPolicy{AllocSequential, AllocRandom, AllocXMemPlacement} {
+		cfg := testConfig()
+		cfg.Alloc = pol
+		res := MustRun(cfg, streamWorkload(256, 2))
+		if res.Cycles == 0 {
+			t.Errorf("policy %s produced empty run", pol)
+		}
+	}
+	cfg := testConfig()
+	cfg.Alloc = "bogus"
+	if _, err := Run(cfg, streamWorkload(8, 1)); err == nil {
+		t.Error("bogus alloc policy accepted")
+	}
+}
+
+func TestRunIdealRBLFasterThanBaseline(t *testing.T) {
+	// A random-access workload: ideal RBL removes all row misses.
+	randomW := workload.Workload{
+		Name: "rand",
+		Run: func(p workload.Program) {
+			size := uint64(8 << 20)
+			buf := p.Malloc("buf", size, xm.InvalidAtom)
+			state := uint64(12345)
+			for i := 0; i < 20000; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				off := (state >> 16) % (size / 64) * 64
+				p.Load(1, buf+mem.Addr(off))
+				p.Work(4)
+			}
+		},
+	}
+	base := MustRun(testConfig(), randomW)
+	ideal := testConfig()
+	ideal.IdealRBL = true
+	idres := MustRun(ideal, randomW)
+	if idres.Cycles >= base.Cycles {
+		t.Errorf("ideal RBL %d cycles >= baseline %d", idres.Cycles, base.Cycles)
+	}
+	if idres.DRAM.RowConflicts != 0 {
+		t.Errorf("ideal RBL recorded %d row conflicts", idres.DRAM.RowConflicts)
+	}
+}
+
+func TestPaperConfigMatchesTable3(t *testing.T) {
+	cfg := PaperConfig(8 << 20)
+	if cfg.L1D.SizeBytes != 32<<10 || cfg.L1D.Policy != "lru" || cfg.L1D.Latency != 4 {
+		t.Errorf("L1D = %+v", cfg.L1D)
+	}
+	if cfg.L2.SizeBytes != 128<<10 || cfg.L2.Policy != "drrip" || cfg.L2.Latency != 8 {
+		t.Errorf("L2 = %+v", cfg.L2)
+	}
+	if cfg.L3.SizeBytes != 8<<20 || cfg.L3.Policy != "drrip" || cfg.L3.Latency != 27 {
+		t.Errorf("L3 = %+v", cfg.L3)
+	}
+	if cfg.Geometry.Channels != 2 || cfg.Geometry.BanksPerRank != 8 {
+		t.Errorf("geometry = %+v", cfg.Geometry)
+	}
+	if !cfg.StridePrefetch {
+		t.Error("Table 3 baseline includes the multi-stride prefetcher")
+	}
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+
+	"xmem/internal/core"
+	"xmem/internal/dram"
+	"xmem/internal/kernel"
+	"xmem/internal/numa"
+	"xmem/internal/workload"
+)
+
+// MultiConfig describes a multi-core machine: per-core private hierarchies
+// (the paper's Table 3 partitions the L3 per core) over one shared memory
+// controller and one shared pool of physical frames, so co-runners contend
+// for DRAM banks and bandwidth exactly as the paper's co-run scenarios do.
+type MultiConfig struct {
+	// Core is the per-core configuration (caches, prefetchers, XMem
+	// flags). DRAM fields configure the single shared controller.
+	Core Config
+	// QuantumCycles is the interleaving granularity of the deterministic
+	// round-robin scheduler (0 = 500).
+	QuantumCycles uint64
+	// NUMA, when set, replaces the shared controller with a multi-node
+	// memory: core i runs on node i mod Nodes, remote accesses pay the
+	// interconnect penalty, and — with XMemPlacement — each process'
+	// pages land on the node its atoms' Home attributes name.
+	NUMA *NUMAConfig
+}
+
+// NUMAConfig sizes the multi-node memory.
+type NUMAConfig struct {
+	// Nodes is the socket count.
+	Nodes int
+	// NodeBytes is each node's capacity.
+	NodeBytes uint64
+	// RemoteLatency is the cross-node penalty in cycles (0 = default).
+	RemoteLatency uint64
+	// Placement selects the OS policy: "interleave" (default) spreads
+	// pages round-robin, "node0" models first-touch by an initializing
+	// main thread (everything lands on node 0), and "xmem" uses the
+	// atoms' Home attributes to co-locate data with its accessor.
+	Placement string
+}
+
+// MultiResult aggregates a multi-programmed run.
+type MultiResult struct {
+	// Cores holds one result per workload; the DRAM stats in each are the
+	// shared controller's machine-wide totals.
+	Cores []Result
+	// Cycles is the finishing time of the slowest core.
+	Cycles uint64
+	// DRAM is the shared controller's final counters.
+	DRAM dram.Stats
+	// RemoteFraction is the share of memory accesses that crossed the
+	// NUMA interconnect (0 on non-NUMA machines).
+	RemoteFraction float64
+}
+
+// coreTask is the scheduler's view of one running core.
+type coreTask struct {
+	m          *Machine
+	resume     chan struct{}
+	yielded    chan struct{}
+	cycle      uint64
+	quantumEnd uint64
+	done       bool
+	finalCycle uint64
+}
+
+// RunMulti executes the workloads concurrently, one per core, with
+// deterministic lockstep interleaving: the scheduler always resumes the
+// core with the lowest local cycle and lets it run one quantum. Cores share
+// the memory controller and physical memory; everything else is private.
+func RunMulti(cfg MultiConfig, ws []workload.Workload) (MultiResult, error) {
+	if len(ws) == 0 {
+		return MultiResult{}, fmt.Errorf("sim: no workloads")
+	}
+	quantum := cfg.QuantumCycles
+	if quantum == 0 {
+		quantum = 500
+	}
+
+	// Shared memory system: one controller, or a multi-node NUMA memory.
+	var ctl memorySystem
+	var alloc kernel.FrameAllocator
+	var numaMem *numa.Memory
+	if cfg.NUMA != nil {
+		nm, err := numa.New(numa.Config{
+			Nodes:         cfg.NUMA.Nodes,
+			NodeBytes:     cfg.NUMA.NodeBytes,
+			RemoteLatency: cfg.NUMA.RemoteLatency,
+			Scheme:        cfg.Core.Scheme,
+			Timing:        cfg.Core.Timing,
+		})
+		if err != nil {
+			return MultiResult{}, err
+		}
+		numaMem = nm
+		alloc = numa.NewAllocator(cfg.NUMA.Nodes, cfg.NUMA.NodeBytes)
+	} else {
+		var err error
+		ctl, alloc, _, err = buildDRAM(cfg.Core, nil)
+		if err != nil {
+			return MultiResult{}, err
+		}
+	}
+
+	tasks := make([]*coreTask, len(ws))
+	for i, w := range ws {
+		atoms, err := declareAtoms(w)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		var policy kernel.PlacementPolicy
+		coreCtl := ctl
+		if numaMem != nil {
+			node := i % numaMem.Nodes()
+			coreCtl = &numa.Port{Mem: numaMem, Node: node}
+			switch cfg.NUMA.Placement {
+			case "", "interleave":
+				// nil policy: the allocator interleaves.
+			case "node0":
+				policy = fixedNodePolicy{}
+			case "xmem":
+				policy = numa.NewPlacement(atoms, node, func(t int) int {
+					return t % numaMem.Nodes()
+				})
+			default:
+				return MultiResult{}, fmt.Errorf("sim: unknown NUMA placement %q", cfg.NUMA.Placement)
+			}
+		} else if cfg.Core.Alloc == AllocXMemPlacement {
+			policy = kernel.NewXMemPlacement(atoms, cfg.Core.Geometry.BanksPerChannel())
+		}
+		m, err := buildMachine(cfg.Core, w, atoms, coreCtl, alloc, policy)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		t := &coreTask{
+			m:       m,
+			resume:  make(chan struct{}),
+			yielded: make(chan struct{}),
+		}
+		m.yield = func(cycle uint64) {
+			t.cycle = cycle
+			if cycle >= t.quantumEnd {
+				t.yielded <- struct{}{}
+				<-t.resume
+			}
+		}
+		tasks[i] = t
+	}
+
+	// One goroutine per core; a single token circulates, so exactly one
+	// core touches the shared structures at any moment.
+	for _, t := range tasks {
+		t := t
+		go func() {
+			<-t.resume
+			t.m.w.Run(t.m)
+			t.finalCycle = t.m.core.Finish()
+			t.cycle = t.finalCycle
+			t.done = true
+			t.yielded <- struct{}{}
+		}()
+	}
+
+	for {
+		// Resume the live core with the smallest local cycle (ties go to
+		// the lowest index) — deterministic lockstep.
+		var next *coreTask
+		for _, t := range tasks {
+			if t.done {
+				continue
+			}
+			if next == nil || t.cycle < next.cycle {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.quantumEnd = next.cycle + quantum
+		next.resume <- struct{}{}
+		<-next.yielded
+	}
+	var res MultiResult
+	if numaMem != nil {
+		numaMem.DrainAll()
+		res.DRAM = numaMem.Stats()
+		res.RemoteFraction = numaMem.RemoteFraction()
+	} else {
+		ctl.DrainAll()
+		res.DRAM = ctl.Stats()
+	}
+	for _, t := range tasks {
+		r := t.m.result(t.finalCycle)
+		res.Cores = append(res.Cores, r)
+		if t.finalCycle > res.Cycles {
+			res.Cycles = t.finalCycle
+		}
+	}
+	return res, nil
+}
+
+// fixedNodePolicy pins every allocation to node 0 — the first-touch-by-
+// main-thread pathology of semantics-blind NUMA systems.
+type fixedNodePolicy struct{}
+
+// PreferredBanks implements kernel.PlacementPolicy.
+func (fixedNodePolicy) PreferredBanks(core.AtomID) []int { return []int{0} }
+
+// MustRunMulti is RunMulti for known-good configurations.
+func MustRunMulti(cfg MultiConfig, ws []workload.Workload) MultiResult {
+	r, err := RunMulti(cfg, ws)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"xmem/internal/workload"
+)
+
+func multiConfig() MultiConfig {
+	return MultiConfig{Core: testConfig()}
+}
+
+func TestRunMultiSingleMatchesSoloShape(t *testing.T) {
+	// One core under the multi-core scheduler behaves like a solo run.
+	w := streamWorkload(2048, 2)
+	solo := MustRun(testConfig(), w)
+	multi := MustRunMulti(multiConfig(), []workload.Workload{w})
+	if len(multi.Cores) != 1 {
+		t.Fatalf("cores = %d", len(multi.Cores))
+	}
+	a, b := solo.Cycles, multi.Cores[0].Cycles
+	diff := float64(a) / float64(b)
+	if diff < 0.95 || diff > 1.05 {
+		t.Errorf("solo %d vs multi %d cycles; quantum interleaving should not change a solo run materially", a, b)
+	}
+	if solo.CPU.Loads != multi.Cores[0].CPU.Loads {
+		t.Errorf("loads differ: %d vs %d", solo.CPU.Loads, multi.Cores[0].CPU.Loads)
+	}
+}
+
+func TestRunMultiDeterministic(t *testing.T) {
+	ws := []workload.Workload{streamWorkload(2048, 2), streamWorkload(1024, 3)}
+	r1 := MustRunMulti(multiConfig(), ws)
+	r2 := MustRunMulti(multiConfig(), ws)
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("nondeterministic multi-core run: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+	for i := range r1.Cores {
+		if r1.Cores[i].Cycles != r2.Cores[i].Cycles {
+			t.Fatalf("core %d nondeterministic: %d vs %d", i, r1.Cores[i].Cycles, r2.Cores[i].Cycles)
+		}
+	}
+}
+
+func TestRunMultiContentionSlowsCores(t *testing.T) {
+	// Two memory-hungry co-runners share the controller: each must finish
+	// later than it would alone.
+	big := 3 * (256 << 10) / 64
+	w := streamWorkload(big, 2)
+	solo := MustRun(testConfig(), w)
+	multi := MustRunMulti(multiConfig(), []workload.Workload{w, w})
+	for i, c := range multi.Cores {
+		if c.Cycles <= solo.Cycles {
+			t.Errorf("core %d: %d cycles with a co-runner <= %d solo; no DRAM contention modelled",
+				i, c.Cycles, solo.Cycles)
+		}
+	}
+	// Shared DRAM served both cores.
+	if multi.DRAM.Reads < 2*solo.DRAM.Reads/3*2/2 {
+		t.Errorf("shared DRAM reads = %d, solo = %d", multi.DRAM.Reads, solo.DRAM.Reads)
+	}
+}
+
+func TestRunMultiAsymmetricFinish(t *testing.T) {
+	short := streamWorkload(256, 1)
+	long := streamWorkload(4096, 3)
+	multi := MustRunMulti(multiConfig(), []workload.Workload{short, long})
+	if multi.Cores[0].Cycles >= multi.Cores[1].Cycles {
+		t.Errorf("short workload (%d) finished after long (%d)",
+			multi.Cores[0].Cycles, multi.Cores[1].Cycles)
+	}
+	if multi.Cycles != multi.Cores[1].Cycles {
+		t.Errorf("machine cycles %d != slowest core %d", multi.Cycles, multi.Cores[1].Cycles)
+	}
+}
+
+func TestRunMultiErrors(t *testing.T) {
+	if _, err := RunMulti(multiConfig(), nil); err == nil {
+		t.Error("empty workload list accepted")
+	}
+	bad := multiConfig()
+	bad.Core.Alloc = "bogus"
+	if _, err := RunMulti(bad, []workload.Workload{streamWorkload(8, 1)}); err == nil {
+		t.Error("bad alloc accepted")
+	}
+}
+
+func TestRunMultiXMemPerCore(t *testing.T) {
+	cfg := multiConfig()
+	cfg.Core.XMemCache = true
+	ws := []workload.Workload{streamWorkload(512, 3), streamWorkload(512, 3)}
+	multi := MustRunMulti(cfg, ws)
+	for i, c := range multi.Cores {
+		if c.AMU.MapOps == 0 {
+			t.Errorf("core %d: no AMU activity", i)
+		}
+		if c.PinnedAtomsMax == 0 {
+			t.Errorf("core %d: nothing pinned", i)
+		}
+	}
+}

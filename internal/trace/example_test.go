@@ -1,0 +1,40 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"xmem/internal/core"
+	"xmem/internal/mem"
+	"xmem/internal/trace"
+	"xmem/internal/workload"
+)
+
+// Example_profilingChannel demonstrates §3.5.1's dynamic-profiling
+// expression channel: record an unannotated program, infer atom attributes
+// from its behaviour, and obtain a ready-to-load atom segment.
+func Example_profilingChannel() {
+	unannotated := workload.Workload{
+		Name: "legacy",
+		Run: func(p workload.Program) {
+			buf := p.Malloc("stream", 64<<10, core.InvalidAtom)
+			for pass := 0; pass < 4; pass++ {
+				for i := 0; i < 1024; i++ {
+					p.Load(1, buf+mem.Addr(i*64))
+				}
+			}
+		},
+	}
+	t := trace.Record(unannotated)
+	profile := trace.Analyze(t)
+	atoms := profile.InferAtoms()
+
+	a := atoms[0]
+	fmt.Println(a.Name, a.Attrs.Pattern, a.Attrs.StrideBytes, a.Attrs.RW, a.Attrs.Reuse > 0)
+
+	// The inferred atoms encode into a standard atom segment.
+	_, err := core.DecodeSegment(core.EncodeSegment(atoms))
+	fmt.Println("segment ok:", err == nil)
+	// Output:
+	// profiled.stream REGULAR 64 READ_ONLY true
+	// segment ok: true
+}

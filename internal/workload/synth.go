@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+// StructSpec describes one named data structure of a synthetic workload:
+// its footprint, its access behaviour, and its share of the access mix.
+// The behaviour doubles as the atom attributes the program expresses, so
+// the OS placement policy of §6.2 sees exactly what the generator does.
+type StructSpec struct {
+	Name string
+	// SizeBytes is the structure's footprint.
+	SizeBytes uint64
+	// Pattern and StrideBytes describe the access pattern (REGULAR with
+	// stride, IRREGULAR = repeatable permutation, NON_DET = random).
+	Pattern     core.PatternType
+	StrideBytes int64
+	// Intensity is the structure's weight in the access mix and the
+	// atom's AccessIntensity attribute (relative hotness, §3.3).
+	Intensity uint8
+	// RW is the read/write characteristic; WritePct of accesses store.
+	RW       core.RWChar
+	WritePct int
+	// Home optionally relates the structure to its accessing thread
+	// (core.HomeThread; zero = unspecified).
+	Home uint8
+}
+
+// SynthSpec is a complete synthetic workload: a set of concurrently
+// accessed data structures standing in for one SPEC/Rodinia/Parboil
+// program of §6.3.
+type SynthSpec struct {
+	Name    string
+	Structs []StructSpec
+	// Accesses is the total number of memory accesses to issue.
+	Accesses int
+	// WorkPer is the ALU work between accesses.
+	WorkPer int
+}
+
+// Scaled returns the spec with footprints and access counts multiplied by
+// f (used to move between the fast and paper presets).
+func (s SynthSpec) Scaled(f float64) SynthSpec {
+	out := s
+	out.Structs = make([]StructSpec, len(s.Structs))
+	copy(out.Structs, s.Structs)
+	for i := range out.Structs {
+		sz := uint64(float64(out.Structs[i].SizeBytes) * f)
+		if sz < mem.PageBytes {
+			sz = mem.PageBytes
+		}
+		out.Structs[i].SizeBytes = sz
+	}
+	out.Accesses = int(float64(s.Accesses) * f)
+	return out
+}
+
+func (s StructSpec) attrs() core.Attributes {
+	return core.Attributes{
+		Type:        core.TypeFloat64,
+		Pattern:     s.Pattern,
+		StrideBytes: s.StrideBytes,
+		RW:          s.RW,
+		Intensity:   s.Intensity,
+		Home:        s.Home,
+	}
+}
+
+// structState is the runtime cursor of one structure.
+type structState struct {
+	spec   StructSpec
+	base   mem.Addr
+	lines  uint64
+	cursor uint64
+	rng    uint64 // NON_DET state
+	credit int
+}
+
+func (st *structState) next() mem.Addr {
+	var line uint64
+	switch st.spec.Pattern {
+	case core.PatternRegular:
+		stride := uint64(st.spec.StrideBytes) / mem.LineBytes
+		if stride == 0 {
+			stride = 1
+		}
+		line = (st.cursor * stride) % st.lines
+		st.cursor++
+	case core.PatternIrregular:
+		// A repeatable pseudo-random permutation: the same irregular
+		// sequence every pass (graph-like reuse, §3.3 AccessPattern).
+		line = (st.cursor * 2654435761) % st.lines
+		st.cursor++
+	default: // PatternNonDet
+		st.rng = st.rng*6364136223846793005 + 1442695040888963407
+		line = (st.rng >> 17) % st.lines
+	}
+	return st.base + mem.Addr(line*mem.LineBytes)
+}
+
+// Synthetic builds the runnable workload for a spec.
+func Synthetic(spec SynthSpec) Workload {
+	declare := func(lib *core.Lib) {
+		for _, s := range spec.Structs {
+			lib.CreateAtom(spec.Name+"."+s.Name, s.attrs())
+		}
+	}
+	return Workload{
+		Name:    spec.Name,
+		Declare: declare,
+		Run: func(p Program) {
+			lib := p.Lib()
+			states := make([]*structState, len(spec.Structs))
+			totalIntensity := 0
+			for i, s := range spec.Structs {
+				id := lib.CreateAtom(spec.Name+"."+s.Name, s.attrs())
+				base := p.Malloc(s.Name, s.SizeBytes, id)
+				lib.AtomMap(id, base, s.SizeBytes)
+				lib.AtomActivate(id)
+				states[i] = &structState{
+					spec:  s,
+					base:  base,
+					lines: (s.SizeBytes + mem.LineBytes - 1) / mem.LineBytes,
+					rng:   uint64(i)*0x9E3779B97F4A7C15 + 1,
+				}
+				totalIntensity += int(s.Intensity)
+			}
+			if totalIntensity == 0 {
+				totalIntensity = 1
+			}
+			for a := 0; a < spec.Accesses; a++ {
+				// Deterministic weighted interleave: highest credit wins.
+				best := 0
+				for i, st := range states {
+					st.credit += int(st.spec.Intensity)
+					if st.credit > states[best].credit {
+						best = i
+					}
+				}
+				st := states[best]
+				st.credit -= totalIntensity
+				va := st.next()
+				if st.spec.WritePct > 0 && a%100 < st.spec.WritePct {
+					p.Store(best, va)
+				} else {
+					p.Load(best, va)
+				}
+				if spec.WorkPer > 0 {
+					p.Work(spec.WorkPer)
+				}
+			}
+		},
+	}
+}
+
+// Convenience constructors for the suite below.
+
+func stream(name string, mb int, intensity uint8, writePct int) StructSpec {
+	rw := core.ReadWrite
+	if writePct == 0 {
+		rw = core.ReadOnly
+	}
+	return StructSpec{
+		Name: name, SizeBytes: uint64(mb) << 20,
+		Pattern: core.PatternRegular, StrideBytes: mem.LineBytes,
+		Intensity: intensity, RW: rw, WritePct: writePct,
+	}
+}
+
+func strided(name string, mb int, strideBytes int64, intensity uint8) StructSpec {
+	return StructSpec{
+		Name: name, SizeBytes: uint64(mb) << 20,
+		Pattern: core.PatternRegular, StrideBytes: strideBytes,
+		Intensity: intensity, RW: core.ReadOnly,
+	}
+}
+
+func gather(name string, mb int, intensity uint8) StructSpec {
+	return StructSpec{
+		Name: name, SizeBytes: uint64(mb) << 20,
+		Pattern: core.PatternIrregular, Intensity: intensity,
+		RW: core.ReadOnly,
+	}
+}
+
+func random(name string, mb int, intensity uint8, writePct int) StructSpec {
+	return StructSpec{
+		Name: name, SizeBytes: uint64(mb) << 20,
+		Pattern: core.PatternNonDet, Intensity: intensity,
+		RW: core.ReadWrite, WritePct: writePct,
+	}
+}
+
+// smallTable is a structure that fits in the LLC (low MPKI contribution).
+func smallTable(name string, kb int, intensity uint8) StructSpec {
+	return StructSpec{
+		Name: name, SizeBytes: uint64(kb) << 10,
+		Pattern: core.PatternIrregular, Intensity: intensity,
+		RW: core.ReadOnly,
+	}
+}
+
+// Suite27 returns the 27 memory-intensive synthetic workloads of the
+// Figure 7/8 experiments, at the fast-preset scale. Each stands in for one
+// SPEC CPU2006 / Rodinia / Parboil program of §6.3, reproducing its mix of
+// concurrently accessed data structures:
+//   - workloads dominated by hot sequential structures interleaved with
+//     irregular ones benefit from isolation + spreading;
+//   - mcf-, xalancbmk-, and bfsRod-like workloads are dominated by random
+//     accesses (little placement headroom, as in §6.4);
+//   - sc- and histo-like workloads have small footprints (< 3% headroom).
+func Suite27() []SynthSpec {
+	w := func(name string, accesses int, structs ...StructSpec) SynthSpec {
+		return SynthSpec{Name: name, Structs: structs, Accesses: accesses, WorkPer: 6}
+	}
+	const n = 220000
+	return []SynthSpec{
+		// SPEC-like.
+		w("libq", n, stream("bits", 16, 200, 10), random("heap", 4, 60, 0)),
+		w("mcf", n, random("nodes", 24, 200, 20), random("arcs", 16, 120, 10)),
+		w("milc", n, stream("su3", 12, 160, 20), stream("links", 12, 120, 0), gather("sites", 8, 80)),
+		w("lbm", n, stream("srcGrid", 16, 180, 0), stream("dstGrid", 16, 140, 50), gather("flags", 4, 60)),
+		w("soplex", n, stream("colVals", 12, 170, 0), gather("rowIdx", 8, 130), random("basis", 4, 50, 10)),
+		w("sphinx3", n, stream("gauden", 10, 150, 0), gather("senone", 6, 110), smallTable("dict", 256, 60)),
+		w("gcc", n, gather("rtl", 8, 140), stream("insns", 6, 100, 10), random("alias", 4, 80, 5)),
+		w("bwaves", n, stream("q", 20, 190, 25), stream("dq", 12, 130, 0), strided("jac", 8, 512, 70)),
+		w("gems", n, stream("fields", 16, 180, 30), strided("coeff", 8, 256, 90), gather("bc", 4, 50)),
+		w("omnetpp", n, random("events", 12, 180, 15), gather("modules", 6, 90), smallTable("sched", 512, 70)),
+		w("astar", n, gather("graph", 12, 170), random("open", 6, 110, 10), stream("coords", 4, 70, 0)),
+		w("leslie3d", n, stream("u", 10, 160, 20), stream("v", 10, 140, 20), stream("w", 10, 120, 20)),
+		w("zeusmp", n, stream("d", 12, 170, 25), stream("e", 12, 130, 25), gather("grid", 6, 60)),
+		w("cactus", n, stream("metric", 14, 180, 30), strided("deriv", 10, 1024, 80), gather("mask", 4, 40)),
+		w("xalancbmk", n, random("dom", 16, 190, 10), gather("symbols", 8, 100), smallTable("pool", 384, 60)),
+		w("bzip2", n, stream("block", 8, 150, 40), random("ptr", 8, 130, 0), smallTable("huff", 128, 70)),
+		w("hmmer", n, stream("dp", 10, 170, 35), smallTable("hmm", 512, 120), gather("seq", 4, 50)),
+		// Rodinia-like.
+		w("bfsRod", n, random("frontier", 16, 180, 10), gather("edges", 12, 140), random("visited", 8, 80, 30)),
+		w("kmeans", n, stream("points", 16, 190, 0), smallTable("centers", 64, 140), stream("membership", 4, 60, 50)),
+		w("hotspot", n, stream("temp", 12, 170, 30), stream("power", 12, 130, 0)),
+		w("srad", n, stream("image", 14, 180, 30), gather("dN", 8, 100), stream("c", 8, 90, 20)),
+		w("pathfinder", n, stream("wall", 16, 180, 0), stream("result", 4, 120, 50)),
+		w("backprop", n, stream("weights", 12, 170, 30), random("hidden", 6, 110, 10), stream("delta", 6, 80, 40)),
+		w("sc", n/2, smallTable("points", 768, 180), smallTable("centers", 256, 120), stream("assign", 1, 60, 30)),
+		// Parboil-like.
+		w("spmv", n, stream("vals", 12, 170, 0), strided("colIdx", 8, 128, 120), gather("x", 8, 100)),
+		w("stencil", n, stream("Ain", 14, 180, 0), stream("Aout", 14, 140, 50)),
+		w("histo", n/2, smallTable("bins", 512, 170), stream("input", 2, 110, 0)),
+	}
+}
+
+// SuiteNames lists the workload names in report order.
+func SuiteNames() []string {
+	specs := Suite27()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
