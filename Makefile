@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments experiments-paper \
-        examples clean
+.PHONY: all build test test-short vet xmem-vet lint fmtcheck check bench \
+        experiments experiments-paper examples clean
 
 all: build vet test
 
@@ -13,6 +13,23 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# xmem-vet statically checks every XMemLib call site against the Atom
+# contract (see DESIGN.md, "Correctness tooling"). Exits non-zero on any
+# finding.
+xmem-vet:
+	$(GO) run ./cmd/xmem-vet ./...
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint = toolchain vet + race-checked metadata-plane tests + xmem-vet.
+lint: vet fmtcheck
+	$(GO) test -race ./internal/core/... ./internal/sim/...
+	$(GO) run ./cmd/xmem-vet ./...
+
+check: build vet test
 
 test:
 	$(GO) test ./...

@@ -35,6 +35,7 @@ func main() {
 		alloc  = flag.String("alloc", "sequential", "frame allocator: sequential, random, xmem")
 		scheme = flag.String("scheme", "ro:ra:ba:co:ch", "DRAM address mapping scheme")
 		ideal  = flag.Bool("ideal-rbl", false, "perfect row-buffer locality")
+		check  = flag.Bool("check", false, "audit XMem metadata invariants after every op (panics on structural divergence, reports lifecycle misuse)")
 		bwCore = flag.Float64("bw", 2.1e9, "per-core DRAM bandwidth in bytes/s (0 = full channel bandwidth)")
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	cfg.Alloc = sim.AllocPolicy(*alloc)
 	cfg.AllocSeed = 42
 	cfg.IdealRBL = *ideal
+	cfg.CheckInvariants = *check
 	if *bwCore > 0 {
 		cfg = cfg.WithUseCase1Bandwidth(*bwCore)
 	}
@@ -114,6 +116,12 @@ func printResult(r sim.Result) {
 		r.AMU.ActivateOps+r.AMU.DeactivateOps, r.AMU.Lookups, 100*r.ALBHitRate)
 	fmt.Printf("  instruction overhead %.5f%%\n",
 		100*float64(r.Lib.Instructions)/float64(max64(r.Instructions, 1)))
+	if len(r.InvariantWarnings) > 0 {
+		fmt.Printf("\ninvariant audit: %d lifecycle violation(s)\n", len(r.InvariantWarnings))
+		for _, w := range r.InvariantWarnings {
+			fmt.Printf("  %s\n", w)
+		}
+	}
 }
 
 func max64(a, b uint64) uint64 {

@@ -1,0 +1,132 @@
+// Command xmem-vet statically checks callers of the XMemLib API against the
+// Atom contract of the paper: operator calls on AtomIDs no CreateAtom
+// produced, unbalanced or mis-dimensioned MAP/UNMAP pairs, ACTIVATE before
+// MAP, conflicting attributes for one creation site, and CreateAtom after
+// the atom segment has been emitted.
+//
+// Usage:
+//
+//	xmem-vet [packages]
+//
+// Package patterns are module-relative: "./..." (everything), "dir/..."
+// (a subtree), or an exact directory ("examples/matvec"). With no
+// arguments the whole module is checked. The exit status is 1 when
+// findings are reported, 2 when the module cannot be loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xmem/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xmem-vet [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs = selectPackages(pkgs, loader.ModulePath(), root, wd, flag.Args())
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("no packages match %v", flag.Args()))
+	}
+
+	findings := analysis.Run(loader.Fset, pkgs, analysis.All())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "xmem-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectPackages filters the loaded packages by the command-line patterns,
+// resolved relative to the invocation directory.
+func selectPackages(pkgs []*analysis.Package, modPath, root, wd string, patterns []string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	keep := make([]*analysis.Package, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		for _, pat := range patterns {
+			if matchPattern(pkg.Path, modPath, root, wd, pat) {
+				keep = append(keep, pkg)
+				break
+			}
+		}
+	}
+	return keep
+}
+
+// matchPattern reports whether the package import path matches one pattern.
+func matchPattern(pkgPath, modPath, root, wd, pat string) bool {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "." || pat == "" {
+			pat = "."
+		}
+	}
+	// Resolve the pattern to an import path.
+	var want string
+	switch {
+	case pat == ".":
+		rel, err := filepath.Rel(root, wd)
+		if err != nil {
+			return false
+		}
+		want = joinImport(modPath, filepath.ToSlash(rel))
+	case strings.HasPrefix(pat, "./"):
+		rel, err := filepath.Rel(root, filepath.Join(wd, pat))
+		if err != nil {
+			return false
+		}
+		want = joinImport(modPath, filepath.ToSlash(rel))
+	case pat == modPath || strings.HasPrefix(pat, modPath+"/"):
+		want = pat
+	default:
+		want = joinImport(modPath, pat)
+	}
+	if pkgPath == want {
+		return true
+	}
+	return recursive && strings.HasPrefix(pkgPath, want+"/")
+}
+
+func joinImport(modPath, rel string) string {
+	rel = strings.TrimPrefix(rel, "./")
+	if rel == "." || rel == "" {
+		return modPath
+	}
+	return modPath + "/" + rel
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xmem-vet: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,291 @@
+// Package analysis implements xmem-vet: static checks, built only on the
+// standard library's go/ast, go/parser, go/token, and go/types, that verify
+// callers of the XMemLib API (internal/core.Lib) honor the Atom contract of
+// the paper (§3.2): attributes are immutable after CREATE, MAP/UNMAP must
+// balance, ACTIVATE only has meaning for mapped atoms, and the atom segment
+// emitted by Segment() must describe every atom the program creates.
+//
+// Every check reports only what it can prove from the source; the runtime
+// twin of each analyzer (core.InvariantChecker) covers the dynamic cases
+// static analysis must leave alone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Analyzer names the check that fired.
+	Analyzer string
+	// Pos locates the offending source.
+	Pos token.Position
+	// Message describes the misuse.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is a single static check, run over the whole loaded module so
+// cross-package facts (creation sites, attribute literals) are visible.
+type Analyzer struct {
+	// Name tags findings and selects the analyzer on the command line.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects u's packages and reports through u.
+	Run func(u *Unit)
+}
+
+// Unit is the context handed to each analyzer.
+type Unit struct {
+	// Fset translates positions.
+	Fset *token.FileSet
+	// Packages are the type-checked packages under analysis.
+	Packages []*Package
+
+	analyzer string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (u *Unit) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*u.findings = append(*u.findings, Finding{
+		Analyzer: u.analyzer,
+		Pos:      u.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the four xmem-vet analyzers.
+func All() []*Analyzer {
+	return []*Analyzer{AtomLifecycle, AttrConflict, DimCheck, SealedLib}
+}
+
+// Run executes the analyzers over the packages and returns the findings
+// sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		u := &Unit{Fset: fset, Packages: pkgs, analyzer: a.Name, findings: &findings}
+		a.Run(u)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// --- XMemLib call recognition ---
+
+// libMethod returns the XMemLib method name called by call (e.g.
+// "CreateAtom", "AtomMap2D") and the receiver expression, when call is a
+// method call on core.Lib (by value or pointer).
+func libMethod(info *types.Info, call *ast.CallExpr) (name string, recv ast.Expr, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", nil, false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", nil, false
+	}
+	t := s.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, okNamed := t.(*types.Named)
+	if !okNamed {
+		return "", nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Lib" || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/core") {
+		return "", nil, false
+	}
+	return sel.Sel.Name, sel.X, true
+}
+
+// Operator-class predicates over XMemLib method names.
+func isMapOp(name string) bool {
+	return name == "AtomMap" || name == "AtomMap2D" || name == "AtomMap3D"
+}
+
+func isUnmapOp(name string) bool {
+	return name == "AtomUnmap" || name == "AtomUnmap2D" || name == "AtomUnmap3D"
+}
+
+func isAtomOp(name string) bool {
+	return isMapOp(name) || isUnmapOp(name) ||
+		name == "AtomActivate" || name == "AtomDeactivate"
+}
+
+// opDims returns the number of logical dimensions of a MAP/UNMAP operator,
+// or 0 for non-mapping operators.
+func opDims(name string) int {
+	switch name {
+	case "AtomMap", "AtomUnmap":
+		return 1
+	case "AtomMap2D", "AtomUnmap2D":
+		return 2
+	case "AtomMap3D", "AtomUnmap3D":
+		return 3
+	}
+	return 0
+}
+
+// --- constant folding ---
+
+// constUint64 folds e to a uint64 using the type-checker's constant
+// evaluation.
+func constUint64(info *types.Info, e ast.Expr) (uint64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Uint64Val(v)
+}
+
+// constString folds e to a string constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isConst reports whether the type checker folded e to any constant.
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// --- ordered call traversal ---
+
+// frame is one step of a call's enclosing-statement chain: the statement at
+// List[idx] of blk contains the call (possibly nested deeper).
+type frame struct {
+	blk *ast.BlockStmt
+	idx int
+}
+
+// callSite is a call together with enough syntactic context to reason
+// about execution order inside one function body.
+type callSite struct {
+	call *ast.CallExpr
+	// chain lists the enclosing (block, statement-index) frames, outermost
+	// first. Two calls in the same function are sequentially ordered when
+	// they share a block frame with different indices.
+	chain []frame
+	// unordered is true when the call sits inside a nested function
+	// literal, defer, or go statement: its execution point is not the
+	// syntactic point, so chain comparisons are meaningless.
+	unordered bool
+}
+
+// strictlyBefore reports whether a provably executes before b the first
+// time their common enclosing block runs: they share a block frame and a's
+// statement index is smaller. Unordered calls are never comparable.
+func (a callSite) strictlyBefore(b callSite) bool {
+	if a.unordered || b.unordered {
+		return false
+	}
+	for _, fa := range a.chain {
+		for _, fb := range b.chain {
+			if fa.blk == fb.blk {
+				return fa.idx < fb.idx
+			}
+		}
+	}
+	return false
+}
+
+// walkCalls invokes f for every call expression in body with its enclosing
+// statement chain.
+func walkCalls(body *ast.BlockStmt, f func(site callSite)) {
+	walkBlockCalls(body, nil, false, f)
+}
+
+func walkBlockCalls(blk *ast.BlockStmt, chain []frame, unordered bool, f func(site callSite)) {
+	for i, st := range blk.List {
+		cur := append(chain[:len(chain):len(chain)], frame{blk, i})
+		walkNodeCalls(st, cur, unordered, f)
+	}
+}
+
+func walkNodeCalls(n ast.Node, chain []frame, unordered bool, f func(site callSite)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.BlockStmt:
+			walkBlockCalls(v, chain, unordered, f)
+			return false
+		case *ast.FuncLit:
+			walkBlockCalls(v.Body, chain, true, f)
+			return false
+		case *ast.DeferStmt:
+			walkNodeCalls(v.Call, chain, true, f)
+			return false
+		case *ast.GoStmt:
+			walkNodeCalls(v.Call, chain, true, f)
+			return false
+		case *ast.CallExpr:
+			f(callSite{call: v, chain: chain, unordered: unordered})
+		}
+		return true
+	})
+}
+
+// funcBodies yields every function body in the package: declared functions
+// and methods, plus each function literal as its own scope.
+func funcBodies(pkg *Package, f func(body *ast.BlockStmt)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil {
+					f(v.Body)
+				}
+			case *ast.FuncLit:
+				f(v.Body)
+			}
+			return true
+		})
+	}
+}
+
+// nestedFuncLits returns the function-literal bodies strictly inside body
+// (excluding body itself), so a body analysis can tell its own statements
+// from deferred-execution scopes.
+func nestedFuncLits(body *ast.BlockStmt) map[*ast.BlockStmt]bool {
+	out := make(map[*ast.BlockStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			out[lit.Body] = true
+		}
+		return true
+	})
+	return out
+}

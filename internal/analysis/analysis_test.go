@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation comments in fixture sources:
+//
+//	lib.AtomMap(id, 0, 0) // want "covers no data"
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+type expectation struct {
+	file   string
+	line   int
+	substr string
+}
+
+// runFixture loads testdata/src/<name> as a standalone package, runs the
+// one analyzer over it, and checks the findings against the fixture's
+// `// want` comments — every expectation must be met, and every finding
+// must be expected.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := loader.LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	var wants []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				wants = append(wants, expectation{pos.Filename, pos.Line, m[1]})
+			}
+		}
+	}
+
+	findings := Run(loader.Fset, []*Package{pkg}, []*Analyzer{a})
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if f.Pos.Filename == w.file && f.Pos.Line == w.line && strings.Contains(f.Message, w.substr) {
+				found = true
+				matched[i] = true
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: want finding containing %q, got none", filepath.Base(w.file), w.line, w.substr)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+func TestAtomLifecycle(t *testing.T) {
+	runFixture(t, AtomLifecycle, "lifecyclebad")
+	runFixture(t, AtomLifecycle, "lifecyclegood")
+	runFixture(t, AtomLifecycle, "lifecycleunknown")
+}
+
+func TestAttrConflict(t *testing.T) {
+	runFixture(t, AttrConflict, "attrbad")
+	runFixture(t, AttrConflict, "attrgood")
+	runFixture(t, AttrConflict, "attrunknown")
+}
+
+func TestDimCheck(t *testing.T) {
+	runFixture(t, DimCheck, "dimbad")
+	runFixture(t, DimCheck, "dimgood")
+	runFixture(t, DimCheck, "dimunknown")
+}
+
+func TestSealedLib(t *testing.T) {
+	runFixture(t, SealedLib, "sealbad")
+	runFixture(t, SealedLib, "sealgood")
+	runFixture(t, SealedLib, "sealunknown")
+}
+
+// TestRepoClean runs every analyzer over the whole module — the same sweep
+// `go run ./cmd/xmem-vet ./...` performs — and requires zero findings.
+func TestRepoClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, f := range Run(loader.Fset, pkgs, All()) {
+		t.Errorf("finding on clean repo: %s", f)
+	}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DimCheck validates the dimension arguments of multi-dimensional MAP and
+// UNMAP operators (§4.1.1, Table 2) where they fold to constants:
+//
+//   - zero-sized mappings (any size dimension constant 0) map nothing;
+//   - sizeX > lenX: rows wider than the row pitch overlap each other;
+//   - 3D: sizeY·lenX > lenXY: a plane's rows overflow the plane pitch;
+//   - a MAP/UNMAP pair on the same atom variable in one function whose
+//     constant dimensions disagree, so the unmap removes a different block
+//     than the map established.
+//
+// Non-constant dimensions are left to the runtime auditor.
+var DimCheck = &Analyzer{
+	Name: "dimcheck",
+	Doc:  "inconsistent or zero constant dims in AtomMap2D/3D, mismatched MAP/UNMAP pairs",
+	Run:  runDimCheck,
+}
+
+// dimNames labels operator dimension arguments by position (after the atom
+// ID and start address).
+var dimNames = map[int][]string{
+	1: {"size"},
+	2: {"sizeX", "sizeY", "lenX"},
+	3: {"sizeX", "sizeY", "sizeZ", "lenX", "lenXY"},
+}
+
+// sizeDims is how many leading dimension arguments are sizes (the rest are
+// pitches).
+var sizeDims = map[int]int{1: 1, 2: 2, 3: 3}
+
+// mapCall is one MAP/UNMAP operator with folded dimension arguments.
+type mapCall struct {
+	name  string
+	dims  int
+	site  callSite
+	args  []ast.Expr
+	vals  []uint64
+	isVal []bool
+}
+
+func runDimCheck(u *Unit) {
+	for _, pkg := range u.Packages {
+		funcBodies(pkg, func(body *ast.BlockStmt) {
+			dimCheckBody(u, pkg.Info, body)
+		})
+	}
+}
+
+func dimCheckBody(u *Unit, info *types.Info, body *ast.BlockStmt) {
+	// byAtom groups this body's MAP/UNMAP calls by atom variable for the
+	// pair-mismatch check.
+	byAtom := make(map[*types.Var][]mapCall)
+	walkCalls(body, func(site callSite) {
+		name, _, ok := libMethod(info, site.call)
+		if !ok {
+			return
+		}
+		nd := opDims(name)
+		if nd == 0 || len(site.call.Args) != 2+len(dimNames[nd]) {
+			return
+		}
+		mc := mapCall{name: name, dims: nd, site: site, args: site.call.Args[2:]}
+		for _, a := range mc.args {
+			v, isConst := constUint64(info, a)
+			mc.vals = append(mc.vals, v)
+			mc.isVal = append(mc.isVal, isConst)
+		}
+		checkDims(u, mc)
+		if id, okIdent := site.call.Args[0].(*ast.Ident); okIdent {
+			if obj, okVar := info.Uses[id].(*types.Var); okVar {
+				byAtom[obj] = append(byAtom[obj], mc)
+			}
+		}
+	})
+	for obj, calls := range byAtom {
+		checkPair(u, obj, calls)
+	}
+}
+
+// checkDims validates a single call's constant dimensions.
+func checkDims(u *Unit, mc mapCall) {
+	names := dimNames[mc.dims]
+	for i := 0; i < sizeDims[mc.dims]; i++ {
+		if mc.isVal[i] && mc.vals[i] == 0 {
+			u.Reportf(mc.args[i].Pos(), "%s: %s is 0: the mapping covers no data", mc.name, names[i])
+			return
+		}
+	}
+	if mc.dims < 2 {
+		return
+	}
+	sizeX, sizeY := dimAt(mc, "sizeX"), dimAt(mc, "sizeY")
+	lenX := dimAt(mc, "lenX")
+	if sizeX.ok && lenX.ok && sizeX.v > lenX.v && !(sizeY.ok && sizeY.v <= 1) {
+		u.Reportf(mc.args[0].Pos(), "%s: sizeX %d exceeds row pitch lenX %d: consecutive rows overlap",
+			mc.name, sizeX.v, lenX.v)
+	}
+	if mc.dims == 3 {
+		sizeZ, lenXY := dimAt(mc, "sizeZ"), dimAt(mc, "lenXY")
+		if sizeY.ok && lenX.ok && lenXY.ok && sizeY.v*lenX.v > lenXY.v && !(sizeZ.ok && sizeZ.v <= 1) {
+			u.Reportf(mc.args[0].Pos(), "%s: %d rows of pitch %d exceed plane pitch lenXY %d: consecutive planes overlap",
+				mc.name, sizeY.v, lenX.v, lenXY.v)
+		}
+	}
+}
+
+type dimVal struct {
+	v  uint64
+	ok bool
+}
+
+func dimAt(mc mapCall, name string) dimVal {
+	for i, n := range dimNames[mc.dims] {
+		if n == name {
+			return dimVal{mc.vals[i], mc.isVal[i]}
+		}
+	}
+	return dimVal{}
+}
+
+// checkPair flags a lone MAP/UNMAP pair whose constant dimensions disagree.
+// Only the exactly-one-map, exactly-one-unmap case is provable: with more
+// calls the pairing is ambiguous (remapping loops, partial unmaps).
+func checkPair(u *Unit, obj *types.Var, calls []mapCall) {
+	var m, um *mapCall
+	for i := range calls {
+		switch {
+		case isMapOp(calls[i].name):
+			if m != nil {
+				return
+			}
+			m = &calls[i]
+		case isUnmapOp(calls[i].name):
+			if um != nil {
+				return
+			}
+			um = &calls[i]
+		}
+	}
+	if m == nil || um == nil || m.dims != um.dims {
+		return
+	}
+	names := dimNames[m.dims]
+	for i := range names {
+		if m.isVal[i] && um.isVal[i] && m.vals[i] != um.vals[i] {
+			u.Reportf(um.args[i].Pos(), "%s of %q: %s %d differs from the paired %s's %s %d at %s: the unmap removes a different block",
+				um.name, obj.Name(), names[i], um.vals[i], m.name, names[i], m.vals[i],
+				u.Fset.Position(m.site.call.Pos()))
+			return
+		}
+	}
+}

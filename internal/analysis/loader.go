@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis.
+type Package struct {
+	// Path is the import path ("xmem/internal/core").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks the packages of a single Go module using
+// only the standard library (no golang.org/x/tools): module-internal
+// imports resolve recursively through the loader itself; everything else
+// goes through the compiler's export data, falling back to the source
+// importer when export data is unavailable.
+type Loader struct {
+	// Fset is the file set shared by every loaded package.
+	Fset *token.FileSet
+
+	root    string
+	modPath string
+	pkgs    map[string]*Package
+	gc      types.Importer
+	src     types.Importer
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the directory containing go.mod.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modPath: modPath,
+		pkgs:    make(map[string]*Package),
+		gc:      importer.Default(),
+		src:     importer.ForCompiler(fset, "source", nil),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// ModulePath returns the module's import path.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// Import implements types.Importer: module-internal paths load (and
+// type-check) through the loader, all others through the toolchain.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.gc.Import(path); err == nil {
+		return pkg, nil
+	}
+	return l.src.Import(path)
+}
+
+// Load parses and type-checks the module package with the given import
+// path, loading its module-internal dependencies first.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	pkg, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks a directory outside the module's package
+// tree (test fixtures under testdata) as a standalone package with the
+// given synthetic import path. Imports of module packages resolve normally.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	return l.loadDir(dir, path)
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go sources in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// parseDir parses every non-test Go source in dir, sorted by name.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadAll loads every package of the module, in import-path order. Package
+// test files, testdata trees, and hidden directories are skipped.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ok, err := hasGoSources(p)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.modPath)
+		} else {
+			paths = append(paths, l.modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// hasGoSources reports whether dir holds at least one non-test Go source.
+func hasGoSources(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}

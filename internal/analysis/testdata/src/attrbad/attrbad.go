@@ -1,0 +1,12 @@
+// Package attrbad holds true positives for the attrconflict analyzer.
+package attrbad
+
+import "xmem/internal/core"
+
+func a(lib *core.Lib) core.AtomID {
+	return lib.CreateAtom("shared-site", core.Attributes{StrideBytes: 8})
+}
+
+func b(lib *core.Lib) core.AtomID {
+	return lib.CreateAtom("shared-site", core.Attributes{StrideBytes: 16}) // want "different attributes"
+}

@@ -1,0 +1,17 @@
+// Package attrgood holds true negatives for the attrconflict analyzer: the
+// same site created twice with equal attributes — once through a
+// single-initializer variable, once as a literal omitting zero fields —
+// must stay silent.
+package attrgood
+
+import "xmem/internal/core"
+
+var attrs = core.Attributes{Type: core.TypeFloat64, StrideBytes: 8}
+
+func a(lib *core.Lib) core.AtomID {
+	return lib.CreateAtom("site", attrs)
+}
+
+func b(lib *core.Lib) core.AtomID {
+	return lib.CreateAtom("site", core.Attributes{Type: core.TypeFloat64, StrideBytes: 8, Reuse: 0})
+}

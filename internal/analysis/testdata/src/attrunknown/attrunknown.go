@@ -1,0 +1,15 @@
+// Package attrunknown holds a case the attrconflict analyzer must NOT
+// judge: one of the two creations has a non-constant attribute field, so
+// the pair is unresolvable; the runtime LibStats.AttrConflicts counter
+// covers it.
+package attrunknown
+
+import "xmem/internal/core"
+
+func a(lib *core.Lib, stride int64) core.AtomID {
+	return lib.CreateAtom("dyn-site", core.Attributes{StrideBytes: stride})
+}
+
+func b(lib *core.Lib) core.AtomID {
+	return lib.CreateAtom("dyn-site", core.Attributes{StrideBytes: 8})
+}

@@ -1,0 +1,25 @@
+// Package dimbad holds true positives for the dimcheck analyzer.
+package dimbad
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+func rowOverlap(lib *core.Lib, id core.AtomID) {
+	lib.AtomMap2D(id, mem.Addr(0), 128, 4, 64) // want "exceeds row pitch"
+}
+
+func zeroSize(lib *core.Lib, id core.AtomID) {
+	lib.AtomMap(id, mem.Addr(0), 0) // want "covers no data"
+}
+
+func planeOverflow(lib *core.Lib, id core.AtomID) {
+	lib.AtomMap3D(id, mem.Addr(0), 8, 8, 2, 8, 32) // want "exceed plane pitch"
+}
+
+func pairMismatch(lib *core.Lib) {
+	id := lib.CreateAtom("pair", core.Attributes{})
+	lib.AtomMap2D(id, mem.Addr(0), 64, 4, 512)
+	lib.AtomUnmap2D(id, mem.Addr(0), 64, 8, 512) // want "differs from the paired"
+}

@@ -1,0 +1,23 @@
+// Package dimgood holds true negatives for the dimcheck analyzer:
+// consistent constant dimensions and a matching MAP/UNMAP pair.
+package dimgood
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+func tile(lib *core.Lib) {
+	id := lib.CreateAtom("tile", core.Attributes{})
+	lib.AtomMap2D(id, mem.Addr(0), 64, 4, 512)
+	lib.AtomUnmap2D(id, mem.Addr(0), 64, 4, 512)
+}
+
+func cube(lib *core.Lib, id core.AtomID) {
+	lib.AtomMap3D(id, mem.Addr(0), 8, 8, 2, 8, 64)
+}
+
+// degenerate dimensions are fine: with sizeY == 1 the row pitch is unused.
+func flatRow(lib *core.Lib, id core.AtomID) {
+	lib.AtomMap2D(id, mem.Addr(0), 128, 1, 64)
+}

@@ -1,0 +1,14 @@
+// Package dimunknown holds a case the dimcheck analyzer must NOT judge:
+// the dimensions are runtime values, so even a syntactically different
+// MAP/UNMAP pair is unprovable; the runtime InvariantChecker covers it.
+package dimunknown
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+func dyn(lib *core.Lib, id core.AtomID, n uint64) {
+	lib.AtomMap2D(id, mem.Addr(0), n*2, n, n*4)
+	lib.AtomUnmap2D(id, mem.Addr(0), n, n, n)
+}

@@ -1,0 +1,26 @@
+// Package lifecyclegood holds true negatives for the atomlifecycle
+// analyzer: a complete, correctly ordered lifecycle must stay silent.
+package lifecyclegood
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+func proper(lib *core.Lib) {
+	id := lib.CreateAtom("proper", core.Attributes{Type: core.TypeFloat64})
+	lib.AtomMap(id, mem.Addr(0), 4096)
+	lib.AtomActivate(id)
+	lib.AtomDeactivate(id)
+	lib.AtomUnmap(id, mem.Addr(0), 4096)
+}
+
+func remap(lib *core.Lib) {
+	id := lib.CreateAtom("remap", core.Attributes{})
+	for i := 0; i < 4; i++ {
+		lib.AtomMap2D(id, mem.Addr(uint64(i)*4096), 64, 4, 512)
+		lib.AtomActivate(id)
+		lib.AtomDeactivate(id)
+		lib.AtomUnmap2D(id, mem.Addr(uint64(i)*4096), 64, 4, 512)
+	}
+}

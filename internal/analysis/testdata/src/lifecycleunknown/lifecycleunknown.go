@@ -1,0 +1,30 @@
+// Package lifecycleunknown holds cases the atomlifecycle analyzer must NOT
+// judge: the atom ID's origin or full use set is outside the function, so
+// only the runtime InvariantChecker can decide.
+package lifecycleunknown
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+// fromHelper receives its ID from a helper: the source is unknown, so the
+// map/unmap sequence is not judged even though no local CreateAtom exists.
+func fromHelper(lib *core.Lib) {
+	id := helper(lib)
+	lib.AtomUnmap(id, mem.Addr(0), 4096)
+}
+
+func helper(lib *core.Lib) core.AtomID {
+	return lib.CreateAtom("helper", core.Attributes{})
+}
+
+// escapes passes the zero-valued ID to another function: the variable
+// escapes, so its (locally bad-looking) lifecycle is not judged.
+func escapes(lib *core.Lib) {
+	var id core.AtomID
+	record(id)
+	lib.AtomMap(id, mem.Addr(0), 4096)
+}
+
+func record(core.AtomID) {}

@@ -1,0 +1,11 @@
+// Package sealbad holds a true positive for the sealedlib analyzer.
+package sealbad
+
+import "xmem/internal/core"
+
+func sealThenCreate(lib *core.Lib) []byte {
+	lib.CreateAtom("early", core.Attributes{})
+	seg := lib.Segment()
+	lib.CreateAtom("late", core.Attributes{}) // want "after its Segment"
+	return seg
+}

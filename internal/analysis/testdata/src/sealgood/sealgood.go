@@ -1,0 +1,11 @@
+// Package sealgood holds true negatives for the sealedlib analyzer: every
+// creation precedes the Segment() call.
+package sealgood
+
+import "xmem/internal/core"
+
+func createThenSeal(lib *core.Lib) []byte {
+	lib.CreateAtom("a", core.Attributes{})
+	lib.CreateAtom("b", core.Attributes{Type: core.TypeInt32})
+	return lib.Segment()
+}

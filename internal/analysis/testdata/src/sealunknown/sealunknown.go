@@ -1,0 +1,12 @@
+// Package sealunknown holds a case the sealedlib analyzer must NOT judge:
+// the Segment() call is deferred, so its execution point is not its
+// syntactic point. (Dynamically it still runs after the CreateAtom — the
+// runtime InvariantChecker's SealedCreates counter covers that.)
+package sealunknown
+
+import "xmem/internal/core"
+
+func deferredSeal(lib *core.Lib) {
+	defer func() { _ = lib.Segment() }()
+	lib.CreateAtom("deferred", core.Attributes{})
+}

@@ -19,6 +19,12 @@ type LibStats struct {
 	// creation site with different attributes; the original attributes
 	// win because atom attributes are immutable (§3.2).
 	AttrConflicts uint64
+	// InvalidOps counts MAP/UNMAP/ACTIVATE/DEACTIVATE calls on atom IDs
+	// no CreateAtom produced. They are no-ops (XMem is hint-based and
+	// must never fault), but each one is certainly a program bug, so the
+	// count makes the misuse observable — and the invariant checker turns
+	// it into a panic.
+	InvalidOps uint64
 }
 
 // Instruction cost per library call: the AMU-specific parameter registers
@@ -45,6 +51,11 @@ type Lib struct {
 	stats   LibStats
 	sealed  bool
 	maxAtom int
+	// sealedAtoms is the atom count when Segment() sealed the lib; atoms
+	// created after that are missing from the emitted segment.
+	sealedAtoms int
+	// checker, when non-nil, audits every operation (see InvariantChecker).
+	checker *InvariantChecker
 }
 
 // NewLib returns a library bound to the given AMU (which may be nil for
@@ -82,8 +93,12 @@ func NewLibWithAtoms(amu *AMU, atoms []Atom) *Lib {
 // in LibStats.AttrConflicts).
 func (l *Lib) CreateAtom(site string, attrs Attributes) AtomID {
 	if id, ok := l.bySite[site]; ok {
-		if l.atoms[id].Attrs != attrs {
+		conflict := l.atoms[id].Attrs != attrs
+		if conflict {
 			l.stats.AttrConflicts++
+		}
+		if l.checker != nil {
+			l.checker.auditCreate(l, site, conflict, false)
 		}
 		return id
 	}
@@ -96,6 +111,9 @@ func (l *Lib) CreateAtom(site string, attrs Attributes) AtomID {
 	l.atoms = append(l.atoms, Atom{ID: id, Name: site, Attrs: attrs})
 	l.bySite[site] = id
 	l.stats.Creates++
+	if l.checker != nil {
+		l.checker.auditCreate(l, site, false, l.sealed)
+	}
 	return id
 }
 
@@ -107,106 +125,181 @@ func (l *Lib) Atoms() []Atom {
 	return out
 }
 
-// Segment serializes the created atoms into an atom segment (§3.5.2).
-func (l *Lib) Segment() []byte { return EncodeSegment(l.atoms) }
+// Segment serializes the created atoms into an atom segment (§3.5.2). It
+// also seals the lib: the segment is what the OS loads into the GAT, so a
+// CreateAtom after this point mints an atom the system will never know
+// about. Creation stays permitted (XMem is hint-based), but the invariant
+// checker records it as a SealedCreates violation.
+func (l *Lib) Segment() []byte {
+	if !l.sealed {
+		l.sealed = true
+		l.sealedAtoms = len(l.atoms)
+	}
+	return EncodeSegment(l.atoms)
+}
+
+// Sealed reports whether Segment() has been called.
+func (l *Lib) Sealed() bool { return l.sealed }
 
 // Stats returns the cumulative library-side cost counters.
 func (l *Lib) Stats() LibStats { return l.stats }
+
+// EnableInvariantChecks attaches a fresh InvariantChecker that audits every
+// subsequent operation, and returns it. Structural inconsistencies between
+// the AMU's tables panic; program-level misuse is recorded as warnings —
+// except operations on invalid atom IDs, which panic (they are silent
+// no-ops otherwise). Used by tests and the -check flag of cmd/xmem-sim.
+func (l *Lib) EnableInvariantChecks() *InvariantChecker {
+	l.checker = NewInvariantChecker()
+	return l.checker
+}
+
+// Checker returns the attached invariant checker, or nil when auditing is
+// disabled.
+func (l *Lib) Checker() *InvariantChecker { return l.checker }
 
 func (l *Lib) countOp(instructions uint64) {
 	l.stats.RuntimeOps++
 	l.stats.Instructions += instructions
 }
 
-func (l *Lib) valid(id AtomID) bool { return int(id) < len(l.atoms) }
+// valid reports whether id names a created atom. The invalid path records
+// the misuse (LibStats.InvalidOps) and panics under the invariant checker;
+// callers then no-op, keeping the hint-based never-fault guarantee.
+func (l *Lib) valid(id AtomID, op string) bool {
+	if int(id) < len(l.atoms) {
+		return true
+	}
+	l.stats.InvalidOps++
+	if l.checker != nil {
+		l.checker.auditInvalid(l, op, id)
+	}
+	return false
+}
+
+// preMappedBytes snapshots the atom's mapped size before an op executes,
+// feeding the invariant checker's unmap audit. Free when auditing is off.
+func (l *Lib) preMappedBytes(id AtomID) uint64 {
+	if l.checker == nil || l.amu == nil {
+		return 0
+	}
+	return l.amu.AAM().MappedBytes(id)
+}
 
 // AtomMap maps [start, start+size) to the atom (Table 2: MAP, 1D).
 func (l *Lib) AtomMap(id AtomID, start mem.Addr, size uint64) {
-	if !l.valid(id) {
+	if !l.valid(id, "AtomMap") {
 		return
 	}
 	l.countOp(mapOpInstructions)
 	if l.amu != nil {
 		l.amu.ExecMap(id, start, size)
 	}
+	if l.checker != nil {
+		l.checker.auditMap(l, "AtomMap", id, size, 1, 1, size, size, false, 0)
+	}
 }
 
 // AtomUnmap removes the atom's mapping over [start, start+size).
 func (l *Lib) AtomUnmap(id AtomID, start mem.Addr, size uint64) {
-	if !l.valid(id) {
+	if !l.valid(id, "AtomUnmap") {
 		return
 	}
 	l.countOp(mapOpInstructions)
+	pre := l.preMappedBytes(id)
 	if l.amu != nil {
 		l.amu.ExecUnmap(id, start, size)
+	}
+	if l.checker != nil {
+		l.checker.auditMap(l, "AtomUnmap", id, size, 1, 1, size, size, true, pre)
 	}
 }
 
 // AtomMap2D maps a 2D block of width sizeX bytes and sizeY rows, in a
 // structure whose row length is lenX bytes (Table 2: MAP, 2D).
 func (l *Lib) AtomMap2D(id AtomID, start mem.Addr, sizeX, sizeY, lenX uint64) {
-	if !l.valid(id) {
+	if !l.valid(id, "AtomMap2D") {
 		return
 	}
 	l.countOp(mapOpInstructions)
 	if l.amu != nil {
 		l.amu.ExecMap2D(id, start, sizeX, sizeY, lenX)
 	}
+	if l.checker != nil {
+		l.checker.auditMap(l, "AtomMap2D", id, sizeX, sizeY, 1, lenX, lenX*sizeY, false, 0)
+	}
 }
 
 // AtomUnmap2D removes a 2D block mapping.
 func (l *Lib) AtomUnmap2D(id AtomID, start mem.Addr, sizeX, sizeY, lenX uint64) {
-	if !l.valid(id) {
+	if !l.valid(id, "AtomUnmap2D") {
 		return
 	}
 	l.countOp(mapOpInstructions)
+	pre := l.preMappedBytes(id)
 	if l.amu != nil {
 		l.amu.ExecUnmap2D(id, start, sizeX, sizeY, lenX)
+	}
+	if l.checker != nil {
+		l.checker.auditMap(l, "AtomUnmap2D", id, sizeX, sizeY, 1, lenX, lenX*sizeY, true, pre)
 	}
 }
 
 // AtomMap3D maps a 3D block: sizeZ planes of sizeY rows of sizeX bytes,
 // with row pitch lenX and plane pitch lenXY (Table 2: MAP, 3D).
 func (l *Lib) AtomMap3D(id AtomID, start mem.Addr, sizeX, sizeY, sizeZ, lenX, lenXY uint64) {
-	if !l.valid(id) {
+	if !l.valid(id, "AtomMap3D") {
 		return
 	}
 	l.countOp(mapOpInstructions)
 	if l.amu != nil {
 		l.amu.ExecMap3D(id, start, sizeX, sizeY, sizeZ, lenX, lenXY)
 	}
+	if l.checker != nil {
+		l.checker.auditMap(l, "AtomMap3D", id, sizeX, sizeY, sizeZ, lenX, lenXY, false, 0)
+	}
 }
 
 // AtomUnmap3D removes a 3D block mapping.
 func (l *Lib) AtomUnmap3D(id AtomID, start mem.Addr, sizeX, sizeY, sizeZ, lenX, lenXY uint64) {
-	if !l.valid(id) {
+	if !l.valid(id, "AtomUnmap3D") {
 		return
 	}
 	l.countOp(mapOpInstructions)
+	pre := l.preMappedBytes(id)
 	if l.amu != nil {
 		l.amu.ExecUnmap3D(id, start, sizeX, sizeY, sizeZ, lenX, lenXY)
+	}
+	if l.checker != nil {
+		l.checker.auditMap(l, "AtomUnmap3D", id, sizeX, sizeY, sizeZ, lenX, lenXY, true, pre)
 	}
 }
 
 // AtomActivate validates the atom's attributes for all data it is mapped to
 // (Table 2: ACTIVATE).
 func (l *Lib) AtomActivate(id AtomID) {
-	if !l.valid(id) {
+	if !l.valid(id, "AtomActivate") {
 		return
 	}
 	l.countOp(statusOpInstructions)
 	if l.amu != nil {
 		l.amu.ExecActivate(id)
 	}
+	if l.checker != nil {
+		l.checker.auditStatus(l, "AtomActivate", id, true)
+	}
 }
 
 // AtomDeactivate invalidates the atom's attributes (Table 2: DEACTIVATE).
 func (l *Lib) AtomDeactivate(id AtomID) {
-	if !l.valid(id) {
+	if !l.valid(id, "AtomDeactivate") {
 		return
 	}
 	l.countOp(statusOpInstructions)
 	if l.amu != nil {
 		l.amu.ExecDeactivate(id)
+	}
+	if l.checker != nil {
+		l.checker.auditStatus(l, "AtomDeactivate", id, false)
 	}
 }

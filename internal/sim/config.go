@@ -61,6 +61,12 @@ type Config struct {
 	XMemDegree int
 	// AMU sizes the Atom Management Unit structures.
 	AMU xm.AMUConfig
+	// CheckInvariants attaches a core.InvariantChecker to each core's
+	// XMemLib: every operation cross-validates the AAM/AST/ALB/GAT and
+	// audits the Atom lifecycle contract. Structural divergence and
+	// invalid-ID ops panic; program-level misuse lands in
+	// Result.InvariantWarnings. Diagnostic — adds per-op audit cost.
+	CheckInvariants bool
 	// ContextSwitchInterval, when nonzero, forces a context switch (ALB
 	// flush + GAT/AST reload, §4.3/§4.4) every so many cycles, for
 	// measuring XMem's context-switch sensitivity.

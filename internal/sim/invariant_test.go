@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"xmem/internal/workload"
+)
+
+// TestRunWithInvariantChecks replays representative workloads with the
+// per-op metadata audit enabled: any structural divergence between the
+// AAM, AST, ALB, and GAT panics, and any lifecycle misuse in the workload
+// programs surfaces as a warning. Clean workloads must produce neither.
+func TestRunWithInvariantChecks(t *testing.T) {
+	cases := []struct {
+		name string
+		w    workload.Workload
+	}{
+		{"gemm", workload.Gemm(workload.TiledConfig{N: 64, TileBytes: 16 << 10})},
+		{"mvt", workload.Mvt(workload.TiledConfig{N: 256, TileBytes: 8 << 10})},
+		{"hashjoin", workload.HashJoin(workload.HashJoinConfig{BuildRows: 500, ProbeRows: 1000, PartitionBytes: 4 << 10})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.XMemCache = true
+			cfg.CheckInvariants = true
+			res := MustRun(cfg, tc.w)
+			if res.Cycles == 0 {
+				t.Fatal("empty result")
+			}
+			if len(res.InvariantWarnings) != 0 {
+				t.Errorf("lifecycle warnings on a clean workload: %v", res.InvariantWarnings)
+			}
+		})
+	}
+}
+
+// TestRunInvariantChecksOffByDefault keeps the audit opt-in: the default
+// configuration must not attach a checker (it runs a full structural
+// validation per op).
+func TestRunInvariantChecksOffByDefault(t *testing.T) {
+	cfg := testConfig()
+	res := MustRun(cfg, workload.Gemm(workload.TiledConfig{N: 64, TileBytes: 16 << 10}))
+	if res.InvariantWarnings != nil {
+		t.Fatalf("checker attached without CheckInvariants: %v", res.InvariantWarnings)
+	}
+}

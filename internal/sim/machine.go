@@ -36,6 +36,9 @@ type Result struct {
 	TierDRAM, TierNVM *dram.Stats
 	// PinnedAtomsMax is the largest pinned-atom set seen (diagnostics).
 	PinnedAtomsMax int
+	// InvariantWarnings holds the lifecycle violations recorded by the
+	// invariant checker (only when Config.CheckInvariants is set).
+	InvariantWarnings []string
 	// ContextSwitches counts forced context switches.
 	ContextSwitches uint64
 }
@@ -191,6 +194,9 @@ func buildMachine(cfg Config, w workload.Workload, atoms []xm.Atom,
 	amu := xm.NewAMU(as, cfg.AMU)
 	amu.SetGAT(gat)
 	lib := xm.NewLibWithAtoms(amu, atoms)
+	if cfg.CheckInvariants {
+		lib.EnableInvariantChecks()
+	}
 
 	// Hierarchy: L1D -> L2 -> L3 -> DRAM.
 	l3, err := cache.New(cfg.L3, ctl)
@@ -255,6 +261,9 @@ func (m *Machine) result(cycles uint64) Result {
 			float64(cpuStats.Instructions)
 	}
 	res.ContextSwitches = m.ctxSwitches
+	if c := m.lib.Checker(); c != nil {
+		res.InvariantWarnings = c.Warnings()
+	}
 	if m.pins != nil {
 		res.PinnedAtomsMax = m.pins.maxPinned
 	}
