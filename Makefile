@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test test-short vet xmem-vet lint fmtcheck check bench \
-        experiments experiments-paper examples clean
+        metrics-smoke experiments experiments-paper examples clean
 
 all: build vet test
 
@@ -29,7 +29,15 @@ lint: vet fmtcheck
 	$(GO) test -race ./internal/core/... ./internal/sim/...
 	$(GO) run ./cmd/xmem-vet ./...
 
-check: build vet test
+check: build vet test metrics-smoke
+
+# End-to-end observability smoke: run a small kernel with metrics on, then
+# validate the emitted schema-v1 JSON (both steps exit non-zero on schema
+# violations).
+metrics-smoke:
+	$(GO) run ./cmd/xmem-sim -workload gemm -n 128 -system xmem \
+		-metrics /tmp/xmem_metrics_smoke.json -epoch 50000 >/dev/null
+	$(GO) run ./cmd/xmem-inspect -validate-metrics /tmp/xmem_metrics_smoke.json
 
 test:
 	$(GO) test ./...

@@ -196,6 +196,32 @@ func BenchmarkALBCoverage(b *testing.B) {
 	b.ReportMetric(100*hit, "ALBhit%")
 }
 
+// benchObs runs the Figure 4 thrash point with observability off or on, so
+// the pair bounds the obs layer's overhead. With metrics off the hot path
+// carries a single nil check; the recorded baseline (BENCH_obs.json) keeps
+// the disabled case within noise of the pre-obs build.
+func benchObs(b *testing.B, metrics bool) {
+	p := benchPreset()
+	w := workload.Gemm(workload.TiledConfig{N: p.UC1N, TileBytes: 256 << 10})
+	cfg := sim.FastConfig(p.UC1L3).WithUseCase1Bandwidth(p.UC1BandwidthPerCore)
+	cfg.XMemCache = true
+	cfg.Metrics = metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.MustRun(cfg, w)
+		if metrics && res.Metrics == nil {
+			b.Fatal("no metrics report")
+		}
+	}
+}
+
+// BenchmarkObsDisabled is the default configuration: metrics compiled in
+// but off.
+func BenchmarkObsDisabled(b *testing.B) { benchObs(b, false) }
+
+// BenchmarkObsEnabled samples every 100k cycles and attributes per-atom.
+func BenchmarkObsEnabled(b *testing.B) { benchObs(b, true) }
+
 // BenchmarkOverheadInstructions measures the §4.4 instruction overhead as a
 // custom metric.
 func BenchmarkOverheadInstructions(b *testing.B) {

@@ -8,6 +8,7 @@
 //	xmem-inspect -workload gemm            # dump gemm's atoms + PATs
 //	xmem-inspect -workload libq -segment   # hex-dump the encoded segment
 //	xmem-inspect -placement libq -banks 8  # show the §6.2 bank assignment
+//	xmem-inspect -validate-metrics m.json  # check a metrics file's schema
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"xmem/internal/compress"
 	xm "xmem/internal/core"
 	"xmem/internal/kernel"
+	"xmem/internal/obs"
 	"xmem/internal/workload"
 )
 
@@ -28,6 +30,7 @@ func main() {
 		segment   = flag.Bool("segment", false, "hex-dump the encoded atom segment")
 		placement = flag.String("placement", "", "workload whose §6.2 DRAM placement to show")
 		banks     = flag.Int("banks", 8, "bank groups for -placement")
+		validate  = flag.String("validate-metrics", "", "validate a schema-v1 metrics JSON file (from xmem-sim -metrics)")
 	)
 	flag.Parse()
 
@@ -44,6 +47,8 @@ func main() {
 			fail(err)
 		}
 		dumpPlacement(atoms, *banks)
+	case *validate != "":
+		validateMetrics(*validate)
 	default:
 		fmt.Println("available workloads:")
 		for _, k := range workload.KernelNames() {
@@ -53,6 +58,21 @@ func main() {
 			fmt.Printf("  %s (use case 2)\n", s)
 		}
 	}
+}
+
+// validateMetrics checks a schema-v1 metrics file and prints a one-line
+// summary of what it holds.
+func validateMetrics(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	r, err := obs.ValidateJSON(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("%s: valid %s (workload %s, %d counters, %d samples, %d atoms, epoch %d cycles)\n",
+		path, r.Schema, r.Workload, len(r.Counters), len(r.Samples), len(r.PerAtom), r.EpochCycles)
 }
 
 func fail(err error) {

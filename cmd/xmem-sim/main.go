@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"xmem/internal/dram"
+	"xmem/internal/obs"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
 )
@@ -37,6 +38,11 @@ func main() {
 		ideal  = flag.Bool("ideal-rbl", false, "perfect row-buffer locality")
 		check  = flag.Bool("check", false, "audit XMem metadata invariants after every op (panics on structural divergence, reports lifecycle misuse)")
 		bwCore = flag.Float64("bw", 2.1e9, "per-core DRAM bandwidth in bytes/s (0 = full channel bandwidth)")
+
+		metricsOut = flag.String("metrics", "", "write epoch-sampled metrics to this file (.csv, .trace.json/.chrome.json, or schema-v1 .json)")
+		epoch      = flag.Uint64("epoch", 0, "metrics sampling epoch in core cycles (0 = 100k default)")
+		atomsTop   = flag.Int("atoms-top", 20, "per-atom attribution rows to print (0 = none)")
+		progress   = flag.Uint64("progress", 0, "print a heartbeat to stderr every N epochs (0 = off; implies metrics)")
 	)
 	flag.Parse()
 
@@ -62,6 +68,20 @@ func main() {
 	if *bwCore > 0 {
 		cfg = cfg.WithUseCase1Bandwidth(*bwCore)
 	}
+	if *metricsOut != "" || *progress > 0 {
+		cfg.Metrics = true
+		cfg.EpochCycles = *epoch
+		cfg.MetricsOut = *metricsOut
+	}
+	if *progress > 0 {
+		every := *progress
+		cfg.OnEpoch = func(p sim.EpochProgress) {
+			if p.Epoch%every == 0 {
+				fmt.Fprintf(os.Stderr, "epoch %6d  cycle %12d  instructions %12d  IPC %.3f\n",
+					p.Epoch, p.Cycle, p.Instructions, p.IPC)
+			}
+		}
+	}
 	switch *system {
 	case "baseline":
 	case "xmem":
@@ -79,6 +99,22 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
+	if res.Metrics != nil {
+		printPerAtom(res, *atomsTop)
+	}
+	// Validate schema-v1 JSON output right after writing it; the CSV and
+	// Chrome-trace forms have no self-describing schema to check.
+	if p := *metricsOut; p != "" && !strings.HasSuffix(p, ".csv") &&
+		!strings.HasSuffix(p, ".trace.json") && !strings.HasSuffix(p, ".chrome.json") {
+		data, err := os.ReadFile(p)
+		if err == nil {
+			_, err = obs.ValidateJSON(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmem-sim: metrics output failed validation: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func resolveWorkload(name string, n int, tile uint64, steps int, scale float64) (workload.Workload, error) {
@@ -121,6 +157,42 @@ func printResult(r sim.Result) {
 		for _, w := range r.InvariantWarnings {
 			fmt.Printf("  %s\n", w)
 		}
+	}
+}
+
+// printPerAtom prints the attribution table: which atoms took the L3 demand
+// misses, how their DRAM commands behaved, and what prefetching did for
+// them. The coverage line reports the fraction of misses attributed to a
+// real atom (the "(unattributed)" row is everything else).
+func printPerAtom(r sim.Result, top int) {
+	if top == 0 || len(r.PerAtom) == 0 {
+		return
+	}
+	fmt.Printf("\nper-atom attribution (demand-miss order, epoch %d cycles)\n", r.Metrics.EpochCycles)
+	fmt.Printf("  %-18s %10s %10s %10s %8s %9s %9s\n",
+		"atom", "dmisses", "rowhits", "rowmiss", "pinevic", "pf-issue", "pf-useful")
+	var total, attributed uint64
+	for i, a := range r.PerAtom {
+		total += a.DemandMisses
+		if a.Name != obs.UnattributedName {
+			attributed += a.DemandMisses
+		}
+		if i < top {
+			name := a.Name
+			if name == "" {
+				name = fmt.Sprintf("atom-%d", a.ID)
+			}
+			fmt.Printf("  %-18s %10d %10d %10d %8d %9d %9d\n",
+				name, a.DemandMisses, a.RowHits, a.RowMisses,
+				a.PinEvictions, a.PrefetchIssued, a.PrefetchUseful)
+		}
+	}
+	if n := len(r.PerAtom); n > top {
+		fmt.Printf("  ... %d more (raise -atoms-top)\n", n-top)
+	}
+	if total > 0 {
+		fmt.Printf("  attribution coverage: %.1f%% of %d L3 demand misses\n",
+			100*float64(attributed)/float64(total), total)
 	}
 }
 

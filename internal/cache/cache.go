@@ -35,6 +35,16 @@ type Classifier func(pa mem.Addr, kind mem.AccessKind) Insertion
 // Observer is notified of every demand access for prefetcher training.
 type Observer func(pa mem.Addr, pc mem.Addr, at uint64, miss bool)
 
+// EvictionObserver is notified when a valid line is evicted; pa is the
+// victim's line address, atom the insertion-time classification (InvalidAtom
+// when no classifier ran), pinned whether the line was pinned. The
+// observability layer uses it for per-atom pinned-eviction attribution.
+type EvictionObserver func(pa mem.Addr, atom core.AtomID, pinned bool)
+
+// UsefulObserver is notified the first time a prefetched line serves a
+// demand access — the standard useful-prefetch definition.
+type UsefulObserver func(pa mem.Addr, atom core.AtomID)
+
 // Stats counts cache activity.
 type Stats struct {
 	Hits        uint64
@@ -51,6 +61,9 @@ type Stats struct {
 	PrefetchMisses uint64
 	// PrefetchFills counts lines installed by prefetches.
 	PrefetchFills uint64
+	// PrefetchUseful counts prefetched lines that later served a demand
+	// access (each line counts once).
+	PrefetchUseful uint64
 	// Writebacks counts dirty evictions sent down.
 	Writebacks uint64
 	// Evictions counts all evictions of valid lines.
@@ -108,19 +121,22 @@ type Cache struct {
 	ways   int
 	policy Policy
 
-	tags   []uint64
-	valid  []bool
-	dirty  []bool
-	pinned []bool
-	atoms  []core.AtomID
-	fill   []mem.Result
+	tags       []uint64
+	valid      []bool
+	dirty      []bool
+	pinned     []bool
+	prefetched []bool
+	atoms      []core.AtomID
+	fill       []mem.Result
 
 	pinnedInSet []int
 	pinCapWays  int
 
-	next     Lower
-	classify Classifier
-	observer Observer
+	next      Lower
+	classify  Classifier
+	observer  Observer
+	evictObs  EvictionObserver
+	usefulObs UsefulObserver
 
 	stats Stats
 }
@@ -165,7 +181,8 @@ func New(cfg Config, next Lower) (*Cache, error) {
 		cfg: cfg, sets: sets, ways: cfg.Ways, policy: pol,
 		tags: make([]uint64, n), valid: make([]bool, n),
 		dirty: make([]bool, n), pinned: make([]bool, n),
-		atoms: make([]core.AtomID, n), fill: make([]mem.Result, n),
+		prefetched: make([]bool, n),
+		atoms:      make([]core.AtomID, n), fill: make([]mem.Result, n),
 		pinnedInSet: make([]int, sets), pinCapWays: capWays,
 		next: next,
 	}, nil
@@ -200,6 +217,12 @@ func (c *Cache) SetClassifier(f Classifier) { c.classify = f }
 
 // SetObserver installs a demand-access observer (prefetcher training).
 func (c *Cache) SetObserver(f Observer) { c.observer = f }
+
+// SetEvictionObserver installs an eviction observer (obs layer).
+func (c *Cache) SetEvictionObserver(f EvictionObserver) { c.evictObs = f }
+
+// SetUsefulObserver installs a useful-prefetch observer (obs layer).
+func (c *Cache) SetUsefulObserver(f UsefulObserver) { c.usefulObs = f }
 
 func (c *Cache) index(pa mem.Addr) (set int, tag uint64) {
 	line := mem.LineIndex(pa)
@@ -239,8 +262,17 @@ func (c *Cache) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr)
 	if way >= 0 {
 		idx := set*c.ways + way
 		c.recordHit(kind)
-		if kind.IsDemand() && c.observer != nil {
-			c.observer(pa, pc, at, false)
+		if kind.IsDemand() {
+			if c.observer != nil {
+				c.observer(pa, pc, at, false)
+			}
+			if c.prefetched[idx] {
+				c.prefetched[idx] = false
+				c.stats.PrefetchUseful++
+				if c.usefulObs != nil {
+					c.usefulObs(pa, c.atoms[idx])
+				}
+			}
 		}
 		if kind != mem.Prefetch {
 			c.policy.Hit(set, way)
@@ -330,9 +362,14 @@ func (c *Cache) install(pa mem.Addr, set int, tag uint64, kind mem.AccessKind, a
 	idx := set*c.ways + way
 	if c.valid[idx] {
 		c.stats.Evictions++
-		if c.pinned[idx] {
+		wasPinned := c.pinned[idx]
+		if wasPinned {
 			c.stats.PinEvictions++
 			c.pinnedInSet[set]--
+		}
+		if c.evictObs != nil {
+			victimPA := mem.Addr((c.tags[idx]<<uint(log2(c.sets)) | uint64(set)) << mem.LineShift)
+			c.evictObs(victimPA, c.atoms[idx], wasPinned)
 		}
 		if c.dirty[idx] {
 			c.stats.Writebacks++
@@ -352,6 +389,7 @@ func (c *Cache) install(pa mem.Addr, set int, tag uint64, kind mem.AccessKind, a
 	c.valid[idx] = true
 	c.dirty[idx] = kind == mem.Write
 	c.pinned[idx] = ins.Pin
+	c.prefetched[idx] = kind == mem.Prefetch
 	c.atoms[idx] = ins.Atom
 	c.fill[idx] = fill
 	if ins.Pin {

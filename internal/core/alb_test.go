@@ -33,6 +33,15 @@ func TestALBHitMiss(t *testing.T) {
 	}
 }
 
+func TestALBHitRateZeroLookups(t *testing.T) {
+	// Regression: with no lookups the rate must be 0, not 0/0 (NaN). A NaN
+	// here poisons Result.ALBHitRate on workloads that never touch the AMU.
+	b := NewALB(4)
+	if r := b.HitRate(); r != 0 {
+		t.Errorf("hit rate with no lookups = %f, want 0", r)
+	}
+}
+
 func TestALBUnmappedChunkReportsNotMapped(t *testing.T) {
 	b := NewALB(4)
 	atoms := make([]AtomID, 8)

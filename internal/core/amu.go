@@ -279,6 +279,17 @@ func (u *AMU) Lookup(pa mem.Addr) (AtomID, bool) {
 	return id, true
 }
 
+// Peek resolves pa to its active atom without modeling an ATOM_LOOKUP: no
+// ALB access, no stats. The observability layer uses it so attribution
+// never perturbs the simulated hardware counters it is attributing.
+func (u *AMU) Peek(pa mem.Addr) (AtomID, bool) {
+	id, ok := u.aam.Lookup(pa)
+	if !ok || !u.ast.Active(id) {
+		return InvalidAtom, false
+	}
+	return id, true
+}
+
 // LookupAttributes combines Lookup with a GAT read, returning the active
 // atom's attributes for pa.
 func (u *AMU) LookupAttributes(pa mem.Addr) (AtomID, Attributes, bool) {

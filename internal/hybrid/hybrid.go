@@ -134,6 +134,20 @@ func (m *Memory) TierStats() (dramStats, nvmStats dram.Stats) {
 	return m.dramCtl.Stats(), m.nvmCtl.Stats()
 }
 
+// SetObserver installs a scheduled-command observer on both tiers. NVM-tier
+// addresses are rebased to machine physical addresses before the callback,
+// so attribution sees the same address space the caches do.
+func (m *Memory) SetObserver(f dram.Observer) {
+	m.dramCtl.SetObserver(f)
+	if f == nil {
+		m.nvmCtl.SetObserver(nil)
+		return
+	}
+	m.nvmCtl.SetObserver(func(pa mem.Addr, kind mem.AccessKind, rowHit bool) {
+		f(pa+m.split, kind, rowHit)
+	})
+}
+
 // Allocator hands out frames by tier: group 0 is the DRAM tier, group 1 the
 // NVM tier, so it plugs into kernel.AddressSpace through the standard
 // PlacementPolicy interface (PreferredBanks returning {0} or {1}). With no

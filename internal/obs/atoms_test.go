@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"testing"
+
+	"xmem/internal/core"
+)
+
+func TestAtomTableAccumulates(t *testing.T) {
+	tab := NewAtomTable()
+	tab.SetName(1, "gemm.tile")
+	tab.DemandMiss(1)
+	tab.DemandMiss(1)
+	tab.RowHit(1)
+	tab.RowMiss(1)
+	tab.PinEviction(1)
+	tab.PrefetchIssued(1, 8)
+	tab.PrefetchUseful(1)
+	got := tab.Counters(1)
+	want := AtomCounters{DemandMisses: 2, RowHits: 1, RowMisses: 1, PinEvictions: 1, PrefetchIssued: 8, PrefetchUseful: 1}
+	if got != want {
+		t.Fatalf("Counters(1) = %+v, want %+v", got, want)
+	}
+	if tab.Counters(7) != (AtomCounters{}) {
+		t.Fatal("unknown atom should read zero")
+	}
+}
+
+func TestAtomTableSummariesSorted(t *testing.T) {
+	tab := NewAtomTable()
+	tab.SetName(1, "a")
+	tab.SetName(2, "b")
+	tab.DemandMiss(2)
+	tab.DemandMiss(2)
+	tab.DemandMiss(1)
+	tab.DemandMiss(core.InvalidAtom)
+	rows := tab.Summaries()
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].ID != 2 || rows[1].ID != 1 || rows[2].ID != core.InvalidAtom {
+		t.Fatalf("order = %v, %v, %v", rows[0].ID, rows[1].ID, rows[2].ID)
+	}
+	if rows[2].Name != UnattributedName {
+		t.Fatalf("invalid-atom row named %q", rows[2].Name)
+	}
+	cov := AttributionCoverage(rows, func(c AtomCounters) uint64 { return c.DemandMisses })
+	if cov != 0.75 {
+		t.Fatalf("coverage = %v, want 0.75", cov)
+	}
+}
+
+func TestAtomTableZeroRowsOmitted(t *testing.T) {
+	tab := NewAtomTable()
+	tab.SetName(5, "touched-but-zero")
+	_ = tab.Counters(5)
+	tab.PrefetchIssued(5, 0)
+	if rows := tab.Summaries(); len(rows) != 0 {
+		t.Fatalf("zero-count atom surfaced: %+v", rows)
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the JSON time-series format.
+const SchemaVersion = "xmem.metrics.v1"
+
+// Report bundles one machine's recorded observability data for export.
+type Report struct {
+	// Schema is always SchemaVersion.
+	Schema string `json:"schema"`
+	// Workload names the run.
+	Workload string `json:"workload"`
+	// EpochCycles is the sampling period in core cycles.
+	EpochCycles uint64 `json:"epochCycles"`
+	// Counters are the metric names, index-aligned with Sample.Values.
+	Counters []string `json:"counters"`
+	// Samples are the epoch snapshots in time order (cumulative values).
+	Samples []Sample `json:"samples"`
+	// PerAtom is the end-of-run attribution table, sorted by demand misses.
+	PerAtom []AtomSummary `json:"perAtom,omitempty"`
+}
+
+// WriteJSON writes the report as indented schema-v1 JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.Schema = SchemaVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the counter time series as CSV: one row per sample,
+// one column per counter, preceded by epoch and cycle columns. The
+// per-atom table is not part of the CSV form (use JSON or the trace).
+func (r *Report) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("epoch,cycle")
+	for _, name := range r.Counters {
+		b.WriteByte(',')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Samples {
+		b.WriteString(strconv.FormatUint(s.Epoch, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(s.Cycle, 10))
+		for _, v := range s.Values {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// --- Chrome trace_event export ---
+
+// traceEvent is one entry of the Chrome trace_event format. Counter events
+// ("ph":"C") render as counter tracks in chrome://tracing and Perfetto;
+// metadata events ("ph":"M") name the processes that group the tracks.
+type traceEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Ts   uint64      `json:"ts"`
+	Args interface{} `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// counterArg keeps single-series counter args deterministic.
+type counterArg struct {
+	Value float64 `json:"value"`
+}
+
+// atomTrackPid is the process id of the per-atom tracks; counter groups
+// take pids 1..N.
+const atomTrackPid = 1000
+
+// WriteChromeTrace writes the report in Chrome trace_event format: one
+// counter track per metric (grouped into one "process" per layer) and one
+// track per atom with nonzero attribution. Counter values are per-epoch
+// deltas — phase changes show as steps, not as ever-growing ramps. The
+// trace timestamp unit is the simulated cycle (displayed as µs; 1 "µs" =
+// 1 cycle). Open with chrome://tracing or https://ui.perfetto.dev.
+func (r *Report) WriteChromeTrace(w io.Writer) error {
+	var evs []traceEvent
+
+	groups := map[string]int{}
+	for _, name := range r.Counters {
+		g := group(name)
+		if _, ok := groups[g]; !ok {
+			pid := len(groups) + 1
+			groups[g] = pid
+			evs = append(evs, traceEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]string{"name": g},
+			})
+		}
+	}
+	hasAtoms := false
+	for _, s := range r.Samples {
+		if len(s.Atoms) > 0 {
+			hasAtoms = true
+			break
+		}
+	}
+	if hasAtoms {
+		evs = append(evs, traceEvent{
+			Name: "process_name", Ph: "M", Pid: atomTrackPid,
+			Args: map[string]string{"name": "atoms"},
+		})
+	}
+
+	atomName := func(id uint64) string {
+		for _, a := range r.PerAtom {
+			if uint64(a.ID) == id && a.Name != "" {
+				return fmt.Sprintf("atom %s (%d)", a.Name, id)
+			}
+		}
+		return fmt.Sprintf("atom %d", id)
+	}
+
+	var prev []float64
+	prevAtoms := map[uint64]AtomCounters{}
+	for _, s := range r.Samples {
+		for i, name := range r.Counters {
+			v := s.Values[i]
+			if prev != nil && i < len(prev) {
+				v -= prev[i]
+			}
+			evs = append(evs, traceEvent{
+				Name: name, Ph: "C", Pid: groups[group(name)],
+				Ts: s.Cycle, Args: counterArg{Value: v},
+			})
+		}
+		prev = s.Values
+		for _, a := range s.Atoms {
+			id := uint64(a.ID)
+			d := delta(a.Counters, prevAtoms[id])
+			prevAtoms[id] = a.Counters
+			evs = append(evs, traceEvent{
+				Name: atomName(id), Ph: "C", Pid: atomTrackPid,
+				Ts: s.Cycle, Args: d,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"schema":      "xmem.trace.v1",
+			"workload":    r.Workload,
+			"epochCycles": strconv.FormatUint(r.EpochCycles, 10),
+		},
+	})
+}
+
+func delta(cur, prev AtomCounters) AtomCounters {
+	return AtomCounters{
+		DemandMisses:   cur.DemandMisses - prev.DemandMisses,
+		RowHits:        cur.RowHits - prev.RowHits,
+		RowMisses:      cur.RowMisses - prev.RowMisses,
+		PinEvictions:   cur.PinEvictions - prev.PinEvictions,
+		PrefetchIssued: cur.PrefetchIssued - prev.PrefetchIssued,
+		PrefetchUseful: cur.PrefetchUseful - prev.PrefetchUseful,
+	}
+}
+
+// WriteFile writes the report to path in a format chosen by suffix:
+// ".csv" → CSV, ".trace.json" or ".chrome.json" → Chrome trace_event,
+// anything else → schema-v1 JSON.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		err = r.WriteCSV(f)
+	case strings.HasSuffix(path, ".trace.json"), strings.HasSuffix(path, ".chrome.json"):
+		err = r.WriteChromeTrace(f)
+	default:
+		err = r.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: write %s: %w", path, err)
+	}
+	return nil
+}

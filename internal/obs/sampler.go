@@ -1,0 +1,81 @@
+package obs
+
+// DefaultEpochCycles is the sampling period when metrics are enabled
+// without an explicit epoch length.
+const DefaultEpochCycles = 100_000
+
+// Sample is one epoch-boundary snapshot of every registered metric (and,
+// when an AtomTable is attached, of every atom's counters). Counter values
+// are cumulative; exporters difference adjacent samples for rates.
+type Sample struct {
+	// Epoch is the epoch index: Cycle / EpochCycles.
+	Epoch uint64 `json:"epoch"`
+	// Cycle is the sample's cycle. Boundary samples are aligned to an
+	// EpochCycles multiple; the final sample taken by Finish carries the
+	// run's actual last cycle and may sit mid-epoch.
+	Cycle uint64 `json:"cycle"`
+	// Values are the registry snapshot, index-aligned with Series.Counters.
+	Values []float64 `json:"values"`
+	// Atoms is the per-atom counter snapshot (omitted when attribution is
+	// off or empty).
+	Atoms []AtomSample `json:"atoms,omitempty"`
+}
+
+// Sampler drives epoch-boundary snapshots off the core's cycle count.
+// Tick is the only hot-path entry point: one comparison per call.
+type Sampler struct {
+	reg   *Registry
+	atoms *AtomTable // optional
+	epoch uint64     // cycles per epoch
+	next  uint64     // next boundary cycle
+	out   []Sample
+}
+
+// NewSampler returns a sampler snapshotting reg every epochCycles cycles
+// (0 selects DefaultEpochCycles). atoms may be nil.
+func NewSampler(reg *Registry, epochCycles uint64, atoms *AtomTable) *Sampler {
+	if epochCycles == 0 {
+		epochCycles = DefaultEpochCycles
+	}
+	return &Sampler{reg: reg, atoms: atoms, epoch: epochCycles, next: epochCycles}
+}
+
+// EpochCycles returns the sampling period.
+func (s *Sampler) EpochCycles() uint64 { return s.epoch }
+
+// Tick snapshots the registry if cycle has crossed the next epoch boundary
+// and returns the epoch index sampled, or -1. When more than one boundary
+// passed since the previous tick (a long batch between yields), one sample
+// is taken for the latest fully-started epoch — intermediate epochs cannot
+// be reconstructed retroactively and are skipped; the recorded cycle stays
+// aligned to an EpochCycles multiple either way.
+func (s *Sampler) Tick(cycle uint64) int64 {
+	if cycle < s.next {
+		return -1
+	}
+	idx := cycle / s.epoch
+	s.record(idx, idx*s.epoch)
+	s.next = (idx + 1) * s.epoch
+	return int64(idx)
+}
+
+// Finish records the end-of-run sample at the final cycle (unless that
+// exact cycle was already sampled), so totals are always present even for
+// runs shorter than one epoch.
+func (s *Sampler) Finish(cycle uint64) {
+	if n := len(s.out); n > 0 && s.out[n-1].Cycle == cycle {
+		return
+	}
+	s.record(cycle/s.epoch, cycle)
+}
+
+func (s *Sampler) record(epoch, cycle uint64) {
+	sm := Sample{Epoch: epoch, Cycle: cycle, Values: s.reg.Snapshot()}
+	if s.atoms != nil {
+		sm.Atoms = s.atoms.Snapshot()
+	}
+	s.out = append(s.out, sm)
+}
+
+// Samples returns the recorded samples in time order.
+func (s *Sampler) Samples() []Sample { return s.out }

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"testing"
+)
+
+func testRegistry(v *uint64) *Registry {
+	r := NewRegistry()
+	r.Counter("cpu.core.instructions", func() uint64 { return *v })
+	return r
+}
+
+// TestSamplerEpochAlignment checks that boundary samples land on exact
+// EpochCycles multiples, epochs index as cycle/EpochCycles, and ticks
+// inside an epoch record nothing.
+func TestSamplerEpochAlignment(t *testing.T) {
+	var instr uint64
+	s := NewSampler(testRegistry(&instr), 100, nil)
+
+	for _, c := range []uint64{0, 1, 50, 99} {
+		if e := s.Tick(c); e != -1 {
+			t.Fatalf("Tick(%d) sampled epoch %d inside epoch 0", c, e)
+		}
+	}
+	instr = 10
+	if e := s.Tick(100); e != 1 {
+		t.Fatalf("Tick(100) = %d, want epoch 1", e)
+	}
+	if e := s.Tick(150); e != -1 {
+		t.Fatalf("Tick(150) resampled epoch %d", e)
+	}
+	instr = 25
+	if e := s.Tick(200); e != 2 {
+		t.Fatalf("Tick(200) = %d, want epoch 2", e)
+	}
+
+	got := s.Samples()
+	if len(got) != 2 {
+		t.Fatalf("got %d samples, want 2", len(got))
+	}
+	for i, want := range []Sample{
+		{Epoch: 1, Cycle: 100, Values: []float64{10}},
+		{Epoch: 2, Cycle: 200, Values: []float64{25}},
+	} {
+		if got[i].Epoch != want.Epoch || got[i].Cycle != want.Cycle || got[i].Values[0] != want.Values[0] {
+			t.Errorf("sample %d = %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestSamplerSkipsMissedEpochs: a long gap between ticks produces one
+// sample at the latest boundary, still aligned.
+func TestSamplerSkipsMissedEpochs(t *testing.T) {
+	var instr uint64
+	s := NewSampler(testRegistry(&instr), 100, nil)
+	if e := s.Tick(570); e != 5 {
+		t.Fatalf("Tick(570) = %d, want epoch 5", e)
+	}
+	sm := s.Samples()[0]
+	if sm.Cycle != 500 || sm.Epoch != 5 {
+		t.Fatalf("sample = epoch %d cycle %d, want epoch 5 cycle 500", sm.Epoch, sm.Cycle)
+	}
+	// The next boundary continues from the sampled epoch.
+	if e := s.Tick(599); e != -1 {
+		t.Fatalf("Tick(599) sampled epoch %d", e)
+	}
+	if e := s.Tick(600); e != 6 {
+		t.Fatalf("Tick(600) = %d, want epoch 6", e)
+	}
+}
+
+func TestSamplerFinish(t *testing.T) {
+	var instr uint64
+	s := NewSampler(testRegistry(&instr), 100, nil)
+	s.Tick(100)
+	instr = 99
+	s.Finish(123)
+	got := s.Samples()
+	if len(got) != 2 {
+		t.Fatalf("got %d samples, want 2", len(got))
+	}
+	last := got[1]
+	if last.Cycle != 123 || last.Epoch != 1 || last.Values[0] != 99 {
+		t.Fatalf("final sample = %+v", last)
+	}
+	// Finish at an already-sampled cycle is a no-op.
+	s.Finish(123)
+	if n := len(s.Samples()); n != 2 {
+		t.Fatalf("duplicate Finish added a sample: %d", n)
+	}
+}
+
+func TestSamplerAtomSnapshots(t *testing.T) {
+	var instr uint64
+	tab := NewAtomTable()
+	s := NewSampler(testRegistry(&instr), 100, tab)
+	tab.DemandMiss(3)
+	s.Tick(100)
+	tab.DemandMiss(3)
+	tab.RowHit(1)
+	s.Tick(200)
+	got := s.Samples()
+	if len(got[0].Atoms) != 1 || got[0].Atoms[0].Counters.DemandMisses != 1 {
+		t.Fatalf("epoch-1 atom snapshot = %+v", got[0].Atoms)
+	}
+	if len(got[1].Atoms) != 2 {
+		t.Fatalf("epoch-2 atom snapshot = %+v", got[1].Atoms)
+	}
+	// Snapshot order is by atom ID, and earlier snapshots are unaffected
+	// by later mutation (copies, not aliases).
+	if got[1].Atoms[0].ID != 1 || got[1].Atoms[1].Counters.DemandMisses != 2 {
+		t.Fatalf("epoch-2 atom snapshot = %+v", got[1].Atoms)
+	}
+	if got[0].Atoms[0].Counters.DemandMisses != 1 {
+		t.Fatal("earlier snapshot aliases the live table")
+	}
+}
+
+func TestSamplerDefaultEpoch(t *testing.T) {
+	var instr uint64
+	s := NewSampler(testRegistry(&instr), 0, nil)
+	if s.EpochCycles() != DefaultEpochCycles {
+		t.Fatalf("EpochCycles() = %d", s.EpochCycles())
+	}
+}

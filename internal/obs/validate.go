@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateJSON checks that data is a well-formed schema-v1 metrics dump:
+// right schema tag, a positive epoch length, a non-empty counter list,
+// every sample's value vector index-aligned with it, and cycles strictly
+// increasing. The metrics-smoke CI target and xmem-sim's post-write check
+// both run it, so a schema regression fails the build rather than a later
+// consumer.
+func ValidateJSON(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: metrics JSON does not parse: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("obs: schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	if r.EpochCycles == 0 {
+		return nil, fmt.Errorf("obs: epochCycles is zero")
+	}
+	if len(r.Counters) == 0 {
+		return nil, fmt.Errorf("obs: no counters")
+	}
+	for i, name := range r.Counters {
+		if !validName(name) {
+			return nil, fmt.Errorf("obs: counter %d name %q does not match layer.component.metric", i, name)
+		}
+	}
+	if len(r.Samples) == 0 {
+		return nil, fmt.Errorf("obs: no samples")
+	}
+	var lastCycle uint64
+	for i, s := range r.Samples {
+		if len(s.Values) != len(r.Counters) {
+			return nil, fmt.Errorf("obs: sample %d has %d values for %d counters", i, len(s.Values), len(r.Counters))
+		}
+		if i > 0 && s.Cycle <= lastCycle {
+			return nil, fmt.Errorf("obs: sample %d cycle %d not after %d", i, s.Cycle, lastCycle)
+		}
+		lastCycle = s.Cycle
+	}
+	return &r, nil
+}

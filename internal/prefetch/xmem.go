@@ -61,6 +61,9 @@ type XMemPrefetcher struct {
 	stream map[core.AtomID]*streamState
 	queue  []Request
 	stats  Stats
+	// issueObs, when set, is told how many prefetches each OnAccess issued
+	// for which atom (obs layer).
+	issueObs func(id core.AtomID, n int)
 }
 
 // streamState tracks one atom's demand position and prefetch cursor.
@@ -101,6 +104,9 @@ func (p *XMemPrefetcher) SetPAT(pat *core.PrefetchPAT) { p.pat = pat }
 
 // Stats returns the counters.
 func (p *XMemPrefetcher) Stats() Stats { return p.stats }
+
+// SetIssueObserver installs a per-atom issue observer.
+func (p *XMemPrefetcher) SetIssueObserver(f func(id core.AtomID, n int)) { p.issueObs = f }
 
 // AtomMapping implements core.MappingListener: it records the linearized
 // ranges the AMU broadcasts.
@@ -206,6 +212,7 @@ func (p *XMemPrefetcher) OnAccess(pa mem.Addr, id core.AtomID, at uint64) {
 	if cur < pos || cur > limit {
 		cur = pos
 	}
+	issued := 0
 	for cur < limit {
 		next := cur + step
 		addr, ok := rs.addrAt(next)
@@ -215,9 +222,13 @@ func (p *XMemPrefetcher) OnAccess(pa mem.Addr, id core.AtomID, at uint64) {
 		}
 		p.queue = append(p.queue, Request{Addr: mem.LineAddr(addr), At: at})
 		p.stats.Issued++
+		issued++
 		cur = next
 	}
 	st.cursor = cur
+	if issued > 0 && p.issueObs != nil {
+		p.issueObs(id, issued)
+	}
 }
 
 // OnMiss is a miss-only entry point with OnAccess semantics (kept for

@@ -67,6 +67,23 @@ type Config struct {
 	// invalid-ID ops panic; program-level misuse lands in
 	// Result.InvariantWarnings. Diagnostic — adds per-op audit cost.
 	CheckInvariants bool
+	// Metrics enables the observability layer (internal/obs): an
+	// epoch-sampled registry of every subsystem's counters plus per-atom
+	// attribution of demand misses, row hits/misses, pinned evictions and
+	// prefetch activity. Off by default; when off the hot path carries a
+	// single nil check.
+	Metrics bool
+	// EpochCycles is the sampling period in core cycles (0 selects
+	// obs.DefaultEpochCycles = 100k). Only meaningful with Metrics.
+	EpochCycles uint64
+	// MetricsOut, when non-empty (requires Metrics), is written by Run
+	// after the workload finishes. The suffix picks the format: ".csv" →
+	// CSV, ".trace.json"/".chrome.json" → Chrome trace_event JSON (open in
+	// chrome://tracing or Perfetto), anything else → schema-v1 JSON.
+	MetricsOut string
+	// OnEpoch, when set (requires Metrics), is called at every epoch
+	// boundary — the CLI's -progress heartbeat hangs off it.
+	OnEpoch func(EpochProgress)
 	// ContextSwitchInterval, when nonzero, forces a context switch (ALB
 	// flush + GAT/AST reload, §4.3/§4.4) every so many cycles, for
 	// measuring XMem's context-switch sensitivity.

@@ -10,6 +10,7 @@ import (
 	"xmem/internal/hybrid"
 	"xmem/internal/kernel"
 	"xmem/internal/mem"
+	"xmem/internal/obs"
 	"xmem/internal/prefetch"
 	"xmem/internal/workload"
 )
@@ -41,6 +42,13 @@ type Result struct {
 	InvariantWarnings []string
 	// ContextSwitches counts forced context switches.
 	ContextSwitches uint64
+	// Metrics is the epoch-sampled time series and attribution report
+	// (nil unless Config.Metrics).
+	Metrics *obs.Report
+	// PerAtom attributes hierarchy events (L3 demand misses, DRAM row
+	// hits/misses, pinned evictions, prefetches) to atoms, sorted by
+	// demand misses (nil unless Config.Metrics).
+	PerAtom []obs.AtomSummary
 }
 
 // memorySystem is what sits below the L3: a plain DRAM controller or a
@@ -85,6 +93,14 @@ type Machine struct {
 	// Forced context-switch state (§4.4 sensitivity measurement).
 	nextCtxSwitch uint64
 	ctxSwitches   uint64
+
+	// Observability state (nil unless Config.Metrics; the hot path checks
+	// only `sampler != nil`). pageAtoms is the OS-side PA-page→atom index
+	// built at Malloc time for attribution fallback.
+	reg       *obs.Registry
+	sampler   *obs.Sampler
+	attrib    *obs.AtomTable
+	pageAtoms map[uint64]xm.AtomID
 }
 
 // bwWindowCycles is the utilization-sampling window.
@@ -230,6 +246,9 @@ func buildMachine(cfg Config, w workload.Workload, atoms []xm.Atom,
 		}
 	}
 	l3.SetObserver(m.observeL3)
+	if cfg.Metrics {
+		m.enableMetrics()
+	}
 	return m, nil
 }
 
@@ -271,6 +290,9 @@ func (m *Machine) result(cycles uint64) Result {
 		d, n := hm.TierStats()
 		res.TierDRAM, res.TierNVM = &d, &n
 	}
+	if m.sampler != nil {
+		res.Metrics, res.PerAtom = m.metricsReport(cycles)
+	}
 	return res
 }
 
@@ -288,10 +310,19 @@ func Run(cfg Config, w workload.Workload) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if m.attrib != nil {
+		m.observeDRAM()
+	}
 	w.Run(m)
 	cycles := m.core.Finish()
 	ctl.DrainAll()
-	return m.result(cycles), nil
+	res := m.result(cycles)
+	if cfg.MetricsOut != "" && res.Metrics != nil {
+		if err := res.Metrics.WriteFile(cfg.MetricsOut); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 // MustRun is Run for known-good configurations.
@@ -333,6 +364,9 @@ func (m *Machine) access(site int, va mem.Addr, isLoad bool) {
 		return m.l1d.Access(pa, kind, at, pc)
 	})
 	m.drainPrefetchers()
+	if m.sampler != nil {
+		m.sampleEpochs()
+	}
 	if m.yield != nil {
 		m.yield(m.core.Now())
 	}
@@ -341,6 +375,9 @@ func (m *Machine) access(site int, va mem.Addr, isLoad bool) {
 // Work implements workload.Program.
 func (m *Machine) Work(n int) {
 	m.core.Work(uint64(n))
+	if m.sampler != nil {
+		m.sampleEpochs()
+	}
 	if m.yield != nil {
 		m.yield(m.core.Now())
 	}
@@ -352,6 +389,9 @@ func (m *Machine) Malloc(name string, size uint64, atom xm.AtomID) mem.Addr {
 	if err != nil {
 		panic(fmt.Sprintf("sim: %v", err))
 	}
+	if m.attrib != nil {
+		m.recordRegionAtoms(va, size, atom)
+	}
 	return va
 }
 
@@ -361,6 +401,9 @@ func (m *Machine) Lib() *xm.Lib { return m.lib }
 // --- hierarchy hooks ---
 
 func (m *Machine) observeL3(pa, pc mem.Addr, at uint64, miss bool) {
+	if m.attrib != nil && miss {
+		m.attrib.DemandMiss(m.resolveAtom(pa))
+	}
 	if m.strider != nil {
 		m.strider.Observe(pa, pc, at, miss)
 	}

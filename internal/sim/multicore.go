@@ -46,7 +46,10 @@ type NUMAConfig struct {
 // MultiResult aggregates a multi-programmed run.
 type MultiResult struct {
 	// Cores holds one result per workload; the DRAM stats in each are the
-	// shared controller's machine-wide totals.
+	// shared controller's machine-wide totals. With Config.Metrics each
+	// core carries its own Metrics/PerAtom report (private-hierarchy events
+	// only: shared-controller DRAM commands are not attributed, because
+	// per-core ownership of a shared-bank command is ambiguous).
 	Cores []Result
 	// Cycles is the finishing time of the slowest core.
 	Cycles uint64
