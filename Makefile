@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build test test-short vet xmem-vet lint fmtcheck check bench \
-        metrics-smoke experiments experiments-paper examples clean
+        race sweep-smoke metrics-smoke experiments experiments-paper \
+        examples clean
 
 all: build vet test
 
@@ -29,7 +30,25 @@ lint: vet fmtcheck
 	$(GO) test -race ./internal/core/... ./internal/sim/...
 	$(GO) run ./cmd/xmem-vet ./...
 
-check: build vet test metrics-smoke
+check: build vet test race metrics-smoke sweep-smoke
+
+# Full race-detector pass over every package (the parallel sweep runner
+# is the main concurrent surface).
+race:
+	$(GO) test -race ./...
+
+# End-to-end sweep smoke: a tiny 4-point parallel sweep, checkpointed,
+# then resumed — the resume must restore every point and print the same
+# reports. Exits non-zero on any difference.
+sweep-smoke:
+	rm -rf /tmp/xmem_sweep_smoke && mkdir -p /tmp/xmem_sweep_smoke
+	$(GO) run ./cmd/xmem-sim -workload gemm,2mm,jacobi-2d,syrk -n 64 \
+		-parallel 4 -checkpoint /tmp/xmem_sweep_smoke \
+		> /tmp/xmem_sweep_smoke/first.txt
+	$(GO) run ./cmd/xmem-sim -workload gemm,2mm,jacobi-2d,syrk -n 64 \
+		-parallel 4 -checkpoint /tmp/xmem_sweep_smoke -resume \
+		> /tmp/xmem_sweep_smoke/resumed.txt
+	cmp /tmp/xmem_sweep_smoke/first.txt /tmp/xmem_sweep_smoke/resumed.txt
 
 # End-to-end observability smoke: run a small kernel with metrics on, then
 # validate the emitted schema-v1 JSON (both steps exit non-zero on schema

@@ -6,6 +6,13 @@
 //
 //	xmem-bench [-preset mini|fast|paper] [-exp all|fig4|fig5|fig6|fig7|fig8|alb|overhead]
 //	           [-kernels gemm,2mm] [-workloads libq,mcf] [-v]
+//	           [-parallel N] [-timeout 30s] [-checkpoint dir] [-resume]
+//
+// Every experiment is a deterministic sweep: -parallel N fans the sweep's
+// points over N workers and produces byte-identical report output to a
+// sequential run. -checkpoint dir writes a JSON checkpoint per sweep after
+// every completed point; -resume restores completed points from it and
+// re-runs only failed and missing ones.
 //
 // The fast preset (default) runs the full kernel and workload lists at
 // 8×-reduced scale; paper approaches Table 3 scale (hours). See
@@ -18,9 +25,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"xmem/internal/experiments"
+	"xmem/internal/experiments/runner"
+	"xmem/internal/obs"
 )
 
 func main() {
@@ -31,6 +41,12 @@ func main() {
 		workloads  = flag.String("workloads", "", "comma-separated workload filter for use case 2")
 		verbose    = flag.Bool("v", false, "print per-run progress to stderr")
 		jsonPath   = flag.String("json", "", "also write all computed results as JSON to this file")
+
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep workers (1 = sequential; results are identical either way)")
+		timeout    = flag.Duration("timeout", 0, "per-point timeout (0 = none); timed-out points are recorded as failed")
+		checkpoint = flag.String("checkpoint", "", "directory for per-sweep JSON checkpoints (empty = off)")
+		resume     = flag.Bool("resume", false, "restore completed points from the checkpoint directory and run only the rest")
+		sweepOut   = flag.String("sweep-metrics", "", "write per-point wall-time metrics (schema-v1 .json or .csv) to this file")
 	)
 	flag.Parse()
 
@@ -51,6 +67,29 @@ func main() {
 	}
 	out := os.Stdout
 
+	var reg *obs.Registry
+	if *sweepOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "xmem-bench: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	opt := runner.Options{
+		Parallel:      *parallel,
+		Timeout:       *timeout,
+		CheckpointDir: *checkpoint,
+		Resume:        *resume,
+		Progress:      progress,
+		Registry:      reg,
+	}
+	fatal := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmem-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	want := func(name string) bool {
 		if *exp == "all" {
 			return true
@@ -67,7 +106,8 @@ func main() {
 
 	var fig4 *experiments.Fig4Result
 	if want("fig4") || want("fig5") {
-		res := experiments.RunFig4(preset, progress)
+		res, err := experiments.RunFig4Sweep(preset, opt)
+		fatal(err)
 		fig4 = &res
 		if want("fig4") {
 			res.Print(out)
@@ -77,21 +117,24 @@ func main() {
 		}
 	}
 	if want("fig5") {
-		res := experiments.RunFig5(preset, fig4, progress)
+		res, err := experiments.RunFig5Sweep(preset, fig4, opt)
+		fatal(err)
 		res.Print(out)
 		fmt.Fprintln(out)
 		jsonOut["fig5"] = res
 		ran = true
 	}
 	if want("fig6") {
-		res := experiments.RunFig6(preset, progress)
+		res, err := experiments.RunFig6Sweep(preset, nil, opt)
+		fatal(err)
 		res.Print(out)
 		fmt.Fprintln(out)
 		jsonOut["fig6"] = res
 		ran = true
 	}
 	if want("fig7") || want("fig8") {
-		res := experiments.RunFig7(preset, progress)
+		res, err := experiments.RunFig7Sweep(preset, opt)
+		fatal(err)
 		if want("fig7") {
 			res.Print(out)
 			fmt.Fprintln(out)
@@ -104,42 +147,48 @@ func main() {
 		ran = true
 	}
 	if want("alb") {
-		res := experiments.RunALB(preset, progress)
+		res, err := experiments.RunALBSweep(preset, opt)
+		fatal(err)
 		res.Print(out)
 		fmt.Fprintln(out)
 		jsonOut["alb"] = res
 		ran = true
 	}
 	if want("overhead") {
-		res := experiments.RunOverhead(preset, progress)
+		res, err := experiments.RunOverheadSweep(preset, opt)
+		fatal(err)
 		res.Print(out)
 		fmt.Fprintln(out)
 		jsonOut["overhead"] = res
 		ran = true
 	}
 	if want("hybrid") {
-		res := experiments.RunHybrid(preset, progress)
+		res, err := experiments.RunHybridSweep(preset, opt)
+		fatal(err)
 		res.Print(out)
 		fmt.Fprintln(out)
 		jsonOut["hybrid"] = res
 		ran = true
 	}
 	if want("numa") && *exp != "all" {
-		res := experiments.RunNuma(preset, progress)
+		res, err := experiments.RunNumaSweep(preset, opt)
+		fatal(err)
 		res.Print(out)
 		fmt.Fprintln(out)
 		jsonOut["numa"] = res
 		ran = true
 	}
 	if want("ablation") && *exp != "all" {
-		res := experiments.RunAblation(preset, progress)
+		res, err := experiments.RunAblationSweep(preset, opt)
+		fatal(err)
 		res.Print(out)
 		fmt.Fprintln(out)
 		jsonOut["ablation"] = res
 		ran = true
 	}
 	if want("corun") && *exp != "all" {
-		res := experiments.RunCorun(preset, progress)
+		res, err := experiments.RunCorunSweep(preset, opt)
+		fatal(err)
 		res.Print(out)
 		fmt.Fprintln(out)
 		jsonOut["corun"] = res
@@ -159,4 +208,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if reg != nil {
+		fatal(writeSweepMetrics(reg, *sweepOut))
+	}
+}
+
+// writeSweepMetrics exports the runner's per-point wall-time counters as a
+// single-sample schema-v1 report (or CSV), reusing the obs exporters.
+func writeSweepMetrics(reg *obs.Registry, path string) error {
+	report := &obs.Report{
+		Workload:    "xmem-bench sweeps",
+		EpochCycles: 1,
+		Counters:    reg.Names(),
+		Samples:     []obs.Sample{{Epoch: 0, Cycle: 0, Values: reg.Snapshot()}},
+	}
+	if err := report.WriteFile(path); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
 }

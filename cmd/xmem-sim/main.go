@@ -1,23 +1,33 @@
-// Command xmem-sim runs a single workload on a single machine configuration
-// and dumps the full result: cycles, IPC, per-level cache statistics, DRAM
-// row-buffer behaviour, and XMem (AMU/ALB/library) counters.
+// Command xmem-sim runs one or more workloads on a single machine
+// configuration and dumps the full result: cycles, IPC, per-level cache
+// statistics, DRAM row-buffer behaviour, and XMem (AMU/ALB/library)
+// counters.
 //
 // Usage:
 //
 //	xmem-sim -workload gemm -n 256 -tile 131072 -l3 262144 -system xmem
 //	xmem-sim -workload libq -scale 0.3 -alloc xmem -scheme ro:ra:ba:co:ch
+//	xmem-sim -workload gemm,2mm,libq -parallel 4
 //
 // Use-case-1 kernels are selected by kernel name (-tile applies); use-case-2
-// synthetic workloads by suite name (-scale applies).
+// synthetic workloads by suite name (-scale applies). A comma-separated
+// -workload list runs as a deterministic sweep: -parallel N fans the
+// workloads over N workers with byte-identical output to a sequential run,
+// and -checkpoint/-resume skip already-completed workloads. The metrics
+// flags (-metrics, -progress, -atoms-top) apply to single-workload runs.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"xmem/internal/dram"
+	"xmem/internal/experiments/runner"
 	"xmem/internal/obs"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
@@ -43,6 +53,12 @@ func main() {
 		epoch      = flag.Uint64("epoch", 0, "metrics sampling epoch in core cycles (0 = 100k default)")
 		atomsTop   = flag.Int("atoms-top", 20, "per-atom attribution rows to print (0 = none)")
 		progress   = flag.Uint64("progress", 0, "print a heartbeat to stderr every N epochs (0 = off; implies metrics)")
+
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for a comma-separated -workload sweep (1 = sequential)")
+		timeout    = flag.Duration("timeout", 0, "per-workload timeout for sweeps (0 = none)")
+		checkpoint = flag.String("checkpoint", "", "directory for the sweep's JSON checkpoint (empty = off)")
+		resume     = flag.Bool("resume", false, "restore completed workloads from the checkpoint and run only the rest")
+		verbose    = flag.Bool("v", false, "print sweep progress to stderr")
 	)
 	flag.Parse()
 
@@ -53,21 +69,62 @@ func main() {
 		return
 	}
 
+	baseConfig := func() sim.Config {
+		cfg := sim.FastConfig(*l3)
+		cfg.Scheme = *scheme
+		cfg.Alloc = sim.AllocPolicy(*alloc)
+		cfg.AllocSeed = 42
+		cfg.IdealRBL = *ideal
+		cfg.CheckInvariants = *check
+		if *bwCore > 0 {
+			cfg = cfg.WithUseCase1Bandwidth(*bwCore)
+		}
+		switch *system {
+		case "baseline":
+		case "xmem":
+			cfg.XMemCache = true
+		case "xmem-pref":
+			cfg.XMemPrefetchOnly = true
+		default:
+			fmt.Fprintf(os.Stderr, "xmem-sim: unknown system %q\n", *system)
+			os.Exit(2)
+		}
+		return cfg
+	}
+
+	names := strings.Split(*name, ",")
+	if len(names) > 1 {
+		if *resume && *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "xmem-sim: -resume requires -checkpoint")
+			os.Exit(2)
+		}
+		var sweepProgress io.Writer
+		if *verbose {
+			sweepProgress = os.Stderr
+		}
+		err := runWorkloadSweep(names, baseConfig, runner.Options{
+			Parallel:      *parallel,
+			Timeout:       *timeout,
+			CheckpointDir: *checkpoint,
+			Resume:        *resume,
+			Progress:      sweepProgress,
+		}, func(name string) (workload.Workload, error) {
+			return resolveWorkload(name, *n, *tile, *steps, *scale)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmem-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	w, err := resolveWorkload(*name, *n, *tile, *steps, *scale)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xmem-sim: %v\n", err)
 		os.Exit(2)
 	}
 
-	cfg := sim.FastConfig(*l3)
-	cfg.Scheme = *scheme
-	cfg.Alloc = sim.AllocPolicy(*alloc)
-	cfg.AllocSeed = 42
-	cfg.IdealRBL = *ideal
-	cfg.CheckInvariants = *check
-	if *bwCore > 0 {
-		cfg = cfg.WithUseCase1Bandwidth(*bwCore)
-	}
+	cfg := baseConfig()
 	if *metricsOut != "" || *progress > 0 {
 		cfg.Metrics = true
 		cfg.EpochCycles = *epoch
@@ -82,23 +139,13 @@ func main() {
 			}
 		}
 	}
-	switch *system {
-	case "baseline":
-	case "xmem":
-		cfg.XMemCache = true
-	case "xmem-pref":
-		cfg.XMemPrefetchOnly = true
-	default:
-		fmt.Fprintf(os.Stderr, "xmem-sim: unknown system %q\n", *system)
-		os.Exit(2)
-	}
 
 	res, err := sim.Run(cfg, w)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xmem-sim: %v\n", err)
 		os.Exit(1)
 	}
-	printResult(res)
+	printResult(os.Stdout, res)
 	if res.Metrics != nil {
 		printPerAtom(res, *atomsTop)
 	}
@@ -117,6 +164,49 @@ func main() {
 	}
 }
 
+// runWorkloadSweep runs each named workload as one deterministic sweep
+// point and prints the rendered reports in name order, separated by a rule.
+// The point result is the rendered text itself, so checkpointed points
+// replay byte-identically on -resume.
+func runWorkloadSweep(names []string, baseConfig func() sim.Config, opt runner.Options,
+	resolve func(name string) (workload.Workload, error)) error {
+	var pts []runner.Point[string]
+	for _, name := range names {
+		name := name
+		pts = append(pts, runner.Point[string]{
+			Key: name,
+			Run: func(*runner.Ctx) (string, error) {
+				w, err := resolve(name)
+				if err != nil {
+					return "", err
+				}
+				res, err := sim.Run(baseConfig(), w)
+				if err != nil {
+					return "", err
+				}
+				var b bytes.Buffer
+				printResult(&b, res)
+				return b.String(), nil
+			},
+		})
+	}
+	outs, err := runner.Run("xmem-sim", pts, opt)
+	if err != nil {
+		return err
+	}
+	for i, o := range outs {
+		if i > 0 {
+			fmt.Println(strings.Repeat("-", 60))
+		}
+		if o.Err != "" {
+			fmt.Printf("workload        %s\nFAILED          %s\n", o.Key, o.Err)
+			continue
+		}
+		fmt.Print(o.Result)
+	}
+	return runner.FailErr(outs)
+}
+
 func resolveWorkload(name string, n int, tile uint64, steps int, scale float64) (workload.Workload, error) {
 	for _, k := range workload.AllKernels() {
 		if k.Name == name {
@@ -131,31 +221,31 @@ func resolveWorkload(name string, n int, tile uint64, steps int, scale float64) 
 	return workload.Workload{}, fmt.Errorf("unknown workload %q (try -list)", name)
 }
 
-func printResult(r sim.Result) {
-	fmt.Printf("workload        %s\n", r.Workload)
-	fmt.Printf("cycles          %d\n", r.Cycles)
-	fmt.Printf("instructions    %d\n", r.Instructions)
-	fmt.Printf("IPC             %.3f\n", r.IPC)
-	fmt.Printf("L3 MPKI         %.2f\n", r.L3MPKI)
-	fmt.Printf("\ncaches          hits      misses    missrate  writebacks\n")
-	fmt.Printf("  L1D   %12d %10d   %6.2f%%  %10d\n", r.L1D.Hits, r.L1D.Misses, 100*r.L1D.DemandMissRate(), r.L1D.Writebacks)
-	fmt.Printf("  L2    %12d %10d   %6.2f%%  %10d\n", r.L2.Hits, r.L2.Misses, 100*r.L2.DemandMissRate(), r.L2.Writebacks)
-	fmt.Printf("  L3    %12d %10d   %6.2f%%  %10d\n", r.L3.Hits, r.L3.Misses, 100*r.L3.DemandMissRate(), r.L3.Writebacks)
-	fmt.Printf("  L3 prefetch: fills %d, delayed hits %d, pin inserts %d\n",
+func printResult(w io.Writer, r sim.Result) {
+	fmt.Fprintf(w, "workload        %s\n", r.Workload)
+	fmt.Fprintf(w, "cycles          %d\n", r.Cycles)
+	fmt.Fprintf(w, "instructions    %d\n", r.Instructions)
+	fmt.Fprintf(w, "IPC             %.3f\n", r.IPC)
+	fmt.Fprintf(w, "L3 MPKI         %.2f\n", r.L3MPKI)
+	fmt.Fprintf(w, "\ncaches          hits      misses    missrate  writebacks\n")
+	fmt.Fprintf(w, "  L1D   %12d %10d   %6.2f%%  %10d\n", r.L1D.Hits, r.L1D.Misses, 100*r.L1D.DemandMissRate(), r.L1D.Writebacks)
+	fmt.Fprintf(w, "  L2    %12d %10d   %6.2f%%  %10d\n", r.L2.Hits, r.L2.Misses, 100*r.L2.DemandMissRate(), r.L2.Writebacks)
+	fmt.Fprintf(w, "  L3    %12d %10d   %6.2f%%  %10d\n", r.L3.Hits, r.L3.Misses, 100*r.L3.DemandMissRate(), r.L3.Writebacks)
+	fmt.Fprintf(w, "  L3 prefetch: fills %d, delayed hits %d, pin inserts %d\n",
 		r.L3.PrefetchFills, r.L3.DelayedHits, r.L3.PinInserts)
-	fmt.Printf("\nDRAM            reads %d  writes %d  row-hit %.1f%%\n",
+	fmt.Fprintf(w, "\nDRAM            reads %d  writes %d  row-hit %.1f%%\n",
 		r.DRAM.Reads, r.DRAM.Writes, 100*r.DRAM.RowHitRate())
-	fmt.Printf("  read latency  %.0f cycles avg (demand)\n", r.DRAM.AvgDemandReadLatency())
-	fmt.Printf("  write latency %.0f cycles avg\n", r.DRAM.AvgWriteLatency())
-	fmt.Printf("\nXMem            ops %d (map %d, activate %d)  lookups %d  ALB hit %.2f%%\n",
+	fmt.Fprintf(w, "  read latency  %.0f cycles avg (demand)\n", r.DRAM.AvgDemandReadLatency())
+	fmt.Fprintf(w, "  write latency %.0f cycles avg\n", r.DRAM.AvgWriteLatency())
+	fmt.Fprintf(w, "\nXMem            ops %d (map %d, activate %d)  lookups %d  ALB hit %.2f%%\n",
 		r.Lib.RuntimeOps, r.AMU.MapOps+r.AMU.UnmapOps,
 		r.AMU.ActivateOps+r.AMU.DeactivateOps, r.AMU.Lookups, 100*r.ALBHitRate)
-	fmt.Printf("  instruction overhead %.5f%%\n",
+	fmt.Fprintf(w, "  instruction overhead %.5f%%\n",
 		100*float64(r.Lib.Instructions)/float64(max64(r.Instructions, 1)))
 	if len(r.InvariantWarnings) > 0 {
-		fmt.Printf("\ninvariant audit: %d lifecycle violation(s)\n", len(r.InvariantWarnings))
-		for _, w := range r.InvariantWarnings {
-			fmt.Printf("  %s\n", w)
+		fmt.Fprintf(w, "\ninvariant audit: %d lifecycle violation(s)\n", len(r.InvariantWarnings))
+		for _, warn := range r.InvariantWarnings {
+			fmt.Fprintf(w, "  %s\n", warn)
 		}
 	}
 }

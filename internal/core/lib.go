@@ -44,6 +44,8 @@ const (
 // A Lib with a nil AMU supports software-only deployments such as the DRAM
 // placement use case (§6), where the OS consumes the atom segment and the
 // allocator interface without any XMem hardware.
+//
+// A Lib is not safe for concurrent use; each simulated machine owns one.
 type Lib struct {
 	amu     *AMU
 	atoms   []Atom

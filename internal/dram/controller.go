@@ -109,6 +109,9 @@ type channel struct {
 type Observer func(pa mem.Addr, kind mem.AccessKind, rowHit bool)
 
 // Controller is the memory controller plus the DRAM devices behind it.
+// It is not safe for concurrent use; each simulated machine owns its
+// controller (the multi-core model shares one controller under a single
+// simulation goroutine, never across goroutines).
 type Controller struct {
 	geom     Geometry
 	timing   Timing

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"xmem/internal/experiments/runner"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
 )
@@ -37,47 +38,65 @@ type AblationResult struct {
 	Points []AblationPoint
 }
 
-// RunAblation sweeps each knob on a thrashing tiled kernel (the regime the
-// XMem machinery exists for) and, for the scheduler knob, additionally on a
-// representative use-case-2 workload.
-func RunAblation(p Preset, progress io.Writer) AblationResult {
-	res := AblationResult{Preset: p}
+// ablationKnobRef names the hidden reference point for the cache knobs:
+// the Baseline system on the same thrashing kernel. Its outcome is
+// stitched into every knob row's RefCycles after the sweep and does not
+// appear in the result itself.
+const ablationKnobRef = "ref"
+
+// AblationPoints builds the sweep: one independent point per knob setting,
+// plus the hidden reference point. All points are pure functions of the
+// preset, so they parallelize and checkpoint freely.
+func AblationPoints(p Preset) []runner.Point[AblationPoint] {
 	tile := tunedTile(p.UC1Tiles, p.UC1L3) * 2 // past the cache: thrash regime
 	kern := uc1Kernels(p)[0]
-	w := kern.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
-
-	base := sim.MustRun(uc1Config(p, p.UC1L3, false, false), w).Cycles
-	add := func(knob, setting string, cycles uint64) {
-		res.Points = append(res.Points, AblationPoint{
-			Knob: knob, Setting: setting, Cycles: cycles, RefCycles: base,
-		})
-		progressf(progress, "ablation %-14s %-10s cycles=%12d speedup=%.3f\n",
-			knob, setting, cycles, float64(base)/float64(cycles))
+	mkWork := func() workload.Workload {
+		return kern.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
 	}
+
+	var pts []runner.Point[AblationPoint]
+	add := func(knob, setting string, cfg sim.Config) {
+		pts = append(pts, runner.Point[AblationPoint]{
+			Key: knob + "/" + setting,
+			Run: func(*runner.Ctx) (AblationPoint, error) {
+				r, err := sim.Run(cfg, mkWork())
+				if err != nil {
+					return AblationPoint{}, err
+				}
+				return AblationPoint{Knob: knob, Setting: setting, Cycles: r.Cycles}, nil
+			},
+			Line: func(a AblationPoint) string {
+				return fmt.Sprintf("ablation %-14s %-10s cycles=%12d\n", a.Knob, a.Setting, a.Cycles)
+			},
+		})
+	}
+
+	// The reference: the Baseline system on the thrashing kernel.
+	add(ablationKnobRef, "baseline", uc1Config(p, p.UC1L3, false, false))
 
 	// AAM granularity.
 	for _, gran := range []uint64{512, 1024, 4096} {
 		cfg := uc1Config(p, p.UC1L3, true, false)
 		cfg.AMU.AAMGranularityBytes = gran
-		add("aam-gran", sizeLabel(gran), sim.MustRun(cfg, w).Cycles)
+		add("aam-gran", sizeLabel(gran), cfg)
 	}
 
 	// Pinning budget.
 	for _, frac := range []float64{0.5, 0.75, 0.9} {
 		cfg := uc1Config(p, p.UC1L3, true, false)
 		cfg.L3.PinCapFraction = frac
-		add("pin-cap", fmt.Sprintf("%.0f%%", 100*frac), sim.MustRun(cfg, w).Cycles)
+		add("pin-cap", fmt.Sprintf("%.0f%%", 100*frac), cfg)
 	}
 
 	// XMem prefetch run-ahead.
 	for _, deg := range []int{4, 16, 32, 64} {
 		cfg := uc1Config(p, p.UC1L3, true, false)
 		cfg.XMemDegree = deg
-		add("pf-degree", fmt.Sprintf("%d", deg), sim.MustRun(cfg, w).Cycles)
+		add("pf-degree", fmt.Sprintf("%d", deg), cfg)
 	}
 
 	// Memory scheduler, on a multi-structure use-case-2 workload where
-	// queue reordering matters most.
+	// queue reordering matters most. FR-FCFS is its own reference.
 	uc2 := uc2Specs(p)
 	if len(uc2) > 0 {
 		spec := uc2[0]
@@ -86,16 +105,70 @@ func RunAblation(p Preset, progress io.Writer) AblationResult {
 				spec = s
 			}
 		}
-		w2 := workload.Synthetic(spec)
-		frRef := sim.MustRun(uc2Config(p, p.XMemSchemes[0], sim.AllocRandom, true, false), w2).Cycles
-		fcfsCfg := uc2Config(p, p.XMemSchemes[0], sim.AllocRandom, true, false)
-		fcfsCfg.FCFS = true
-		fcfs := sim.MustRun(fcfsCfg, w2).Cycles
-		res.Points = append(res.Points,
-			AblationPoint{Knob: "scheduler", Setting: "FR-FCFS", Cycles: frRef, RefCycles: frRef},
-			AblationPoint{Knob: "scheduler", Setting: "FCFS", Cycles: fcfs, RefCycles: frRef},
-		)
-		progressf(progress, "ablation scheduler FR-FCFS=%d FCFS=%d\n", frRef, fcfs)
+		schedPoint := func(setting string, fcfs bool) {
+			pts = append(pts, runner.Point[AblationPoint]{
+				Key: "scheduler/" + setting,
+				Run: func(*runner.Ctx) (AblationPoint, error) {
+					cfg := uc2Config(p, p.XMemSchemes[0], sim.AllocRandom, true, false)
+					cfg.FCFS = fcfs
+					r, err := sim.Run(cfg, workload.Synthetic(spec))
+					if err != nil {
+						return AblationPoint{}, err
+					}
+					return AblationPoint{Knob: "scheduler", Setting: setting, Cycles: r.Cycles}, nil
+				},
+				Line: func(a AblationPoint) string {
+					return fmt.Sprintf("ablation %-14s %-10s cycles=%12d\n", a.Knob, a.Setting, a.Cycles)
+				},
+			})
+		}
+		schedPoint("FR-FCFS", false)
+		schedPoint("FCFS", true)
+	}
+	return pts
+}
+
+// RunAblationSweep sweeps each knob on a thrashing tiled kernel (the
+// regime the XMem machinery exists for) and, for the scheduler knob,
+// additionally on a representative use-case-2 workload.
+func RunAblationSweep(p Preset, opt runner.Options) (AblationResult, error) {
+	outs, err := runner.Run(sweepName("ablation", p), AblationPoints(p), opt)
+	if err != nil {
+		return AblationResult{Preset: p}, err
+	}
+	rows := runner.Results(outs)
+
+	// Stitch the references in: the hidden baseline point feeds the cache
+	// knobs; FR-FCFS feeds the scheduler knob; then drop the hidden point.
+	var base, frFCFS uint64
+	for _, a := range rows {
+		switch {
+		case a.Knob == ablationKnobRef:
+			base = a.Cycles
+		case a.Knob == "scheduler" && a.Setting == "FR-FCFS":
+			frFCFS = a.Cycles
+		}
+	}
+	res := AblationResult{Preset: p}
+	for _, a := range rows {
+		if a.Knob == ablationKnobRef {
+			continue
+		}
+		if a.Knob == "scheduler" {
+			a.RefCycles = frFCFS
+		} else {
+			a.RefCycles = base
+		}
+		res.Points = append(res.Points, a)
+	}
+	return res, runner.FailErr(outs)
+}
+
+// RunAblation is the sequential entry point (panics on failure).
+func RunAblation(p Preset, progress io.Writer) AblationResult {
+	res, err := RunAblationSweep(p, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

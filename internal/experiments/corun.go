@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"xmem/internal/core"
+	"xmem/internal/experiments/runner"
 	"xmem/internal/mem"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
@@ -74,38 +75,88 @@ func antagonist(idx int, lines int) workload.Workload {
 	}
 }
 
-// RunCorun measures kernel slowdown under 0-3 streaming co-runners for the
-// Baseline and XMem systems. The kernel uses the tile a static optimizer
-// would pick for the preset's cache.
-func RunCorun(p Preset, progress io.Writer) CorunResult {
-	res := CorunResult{Preset: p}
+// CorunPoints builds the sweep: one independent point per (kernel,
+// co-runner count). Solo references are stitched in after the sweep from
+// each kernel's 0-co-runner row.
+func CorunPoints(p Preset) []runner.Point[CorunRow] {
 	tile := p.UC1L3 / 2
 	antagonistLines := int(4 * p.UC1L3 / mem.LineBytes)
+	var pts []runner.Point[CorunRow]
 	for _, k := range uc1Kernels(p) {
-		w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
-		var baseSolo, xmemSolo uint64
+		k := k
 		for _, corunners := range []int{0, 1, 2, 3} {
-			ws := []workload.Workload{w}
-			for i := 0; i < corunners; i++ {
-				ws = append(ws, antagonist(i, antagonistLines))
-			}
-			run := func(xmem bool) uint64 {
-				cfg := sim.MultiConfig{Core: uc1Config(p, p.UC1L3, xmem, false)}
-				return sim.MustRunMulti(cfg, ws).Cores[0].Cycles
-			}
-			base, xm := run(false), run(true)
-			if corunners == 0 {
-				baseSolo, xmemSolo = base, xm
-			}
-			row := CorunRow{
-				Kernel: k.Name, CoRunners: corunners,
-				BaselineCycles: base, XMemCycles: xm,
-				BaselineSolo: baseSolo, XMemSolo: xmemSolo,
-			}
-			res.Rows = append(res.Rows, row)
-			progressf(progress, "corun %-10s +%d base=%12d (x%.2f) xmem=%12d (x%.2f)\n",
-				k.Name, corunners, base, row.BaselineSlowdown(), xm, row.XMemSlowdown())
+			corunners := corunners
+			pts = append(pts, runner.Point[CorunRow]{
+				Key: fmt.Sprintf("%s/co=%d", k.Name, corunners),
+				Run: func(*runner.Ctx) (CorunRow, error) {
+					run := func(xmem bool) (uint64, error) {
+						ws := []workload.Workload{k.Make(workload.TiledConfig{
+							N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps,
+						})}
+						for i := 0; i < corunners; i++ {
+							ws = append(ws, antagonist(i, antagonistLines))
+						}
+						cfg := sim.MultiConfig{Core: uc1Config(p, p.UC1L3, xmem, false)}
+						r, err := sim.RunMulti(cfg, ws)
+						if err != nil {
+							return 0, err
+						}
+						return r.Cores[0].Cycles, nil
+					}
+					base, err := run(false)
+					if err != nil {
+						return CorunRow{}, err
+					}
+					xm, err := run(true)
+					if err != nil {
+						return CorunRow{}, err
+					}
+					return CorunRow{
+						Kernel: k.Name, CoRunners: corunners,
+						BaselineCycles: base, XMemCycles: xm,
+					}, nil
+				},
+				Line: func(r CorunRow) string {
+					return fmt.Sprintf("corun %-10s +%d base=%12d xmem=%12d\n",
+						r.Kernel, r.CoRunners, r.BaselineCycles, r.XMemCycles)
+				},
+			})
 		}
+	}
+	return pts
+}
+
+// RunCorunSweep measures kernel slowdown under 0-3 streaming co-runners
+// for the Baseline and XMem systems. The kernel uses the tile a static
+// optimizer would pick for the preset's cache.
+func RunCorunSweep(p Preset, opt runner.Options) (CorunResult, error) {
+	outs, err := runner.Run(sweepName("corun", p), CorunPoints(p), opt)
+	if err != nil {
+		return CorunResult{Preset: p}, err
+	}
+	rows := runner.Results(outs)
+
+	// Stitch the solo (0-co-runner) references into every row.
+	baseSolo := map[string]uint64{}
+	xmemSolo := map[string]uint64{}
+	for _, r := range rows {
+		if r.CoRunners == 0 {
+			baseSolo[r.Kernel], xmemSolo[r.Kernel] = r.BaselineCycles, r.XMemCycles
+		}
+	}
+	res := CorunResult{Preset: p}
+	for _, r := range rows {
+		r.BaselineSolo, r.XMemSolo = baseSolo[r.Kernel], xmemSolo[r.Kernel]
+		res.Rows = append(res.Rows, r)
+	}
+	return res, runner.FailErr(outs)
+}
+
+// RunCorun is the sequential entry point (panics on failure).
+func RunCorun(p Preset, progress io.Writer) CorunResult {
+	res, err := RunCorunSweep(p, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

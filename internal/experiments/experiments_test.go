@@ -96,7 +96,7 @@ func TestFig6MiniShape(t *testing.T) {
 	p := Mini()
 	p.UC1Kernels = []string{"gemm"}
 	res := RunFig6(p, nil)
-	if len(res.Rows) != len(Fig6Bandwidths) {
+	if len(res.Rows) != len(DefaultFig6Bandwidths()) {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
 	for _, row := range res.Rows {

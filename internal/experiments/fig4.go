@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"xmem/internal/experiments/runner"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
 )
@@ -54,25 +55,61 @@ func uc1Config(p Preset, l3 uint64, xmemCache, xmemPrefOnly bool) sim.Config {
 	return cfg
 }
 
-// RunFig4 reproduces Figure 4: execution time across tile sizes, Baseline
-// vs XMem, total work held constant per kernel.
-func RunFig4(p Preset, progress io.Writer) Fig4Result {
-	res := Fig4Result{Preset: p}
+// Fig4Points builds the sweep: one independent point per (kernel, tile).
+func Fig4Points(p Preset) []runner.Point[Fig4Row] {
+	var pts []runner.Point[Fig4Row]
 	for _, k := range uc1Kernels(p) {
+		k := k
 		for _, tile := range p.UC1Tiles {
-			w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
-			base := sim.MustRun(uc1Config(p, p.UC1L3, false, false), w)
-			xmem := sim.MustRun(uc1Config(p, p.UC1L3, true, false), w)
-			row := Fig4Row{
-				Kernel:         k.Name,
-				TileBytes:      tile,
-				BaselineCycles: base.Cycles,
-				XMemCycles:     xmem.Cycles,
-			}
-			res.Rows = append(res.Rows, row)
-			progressf(progress, "fig4 %-10s tile=%-8s base=%12d xmem=%12d speedup=%.3f\n",
-				k.Name, sizeLabel(tile), row.BaselineCycles, row.XMemCycles, row.Speedup())
+			tile := tile
+			pts = append(pts, runner.Point[Fig4Row]{
+				Key: fmt.Sprintf("%s/tile=%s", k.Name, sizeLabel(tile)),
+				Run: func(*runner.Ctx) (Fig4Row, error) {
+					w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
+					base, err := sim.Run(uc1Config(p, p.UC1L3, false, false), w)
+					if err != nil {
+						return Fig4Row{}, err
+					}
+					xmem, err := sim.Run(uc1Config(p, p.UC1L3, true, false), w)
+					if err != nil {
+						return Fig4Row{}, err
+					}
+					return Fig4Row{
+						Kernel:         k.Name,
+						TileBytes:      tile,
+						BaselineCycles: base.Cycles,
+						XMemCycles:     xmem.Cycles,
+					}, nil
+				},
+				Line: func(r Fig4Row) string {
+					return fmt.Sprintf("fig4 %-10s tile=%-8s base=%12d xmem=%12d speedup=%.3f\n",
+						r.Kernel, sizeLabel(r.TileBytes), r.BaselineCycles, r.XMemCycles, r.Speedup())
+				},
+			})
 		}
+	}
+	return pts
+}
+
+// RunFig4Sweep reproduces Figure 4 on the sweep runner: execution time
+// across tile sizes, Baseline vs XMem, total work held constant per kernel.
+// Rows come back in point order regardless of worker scheduling; the error
+// covers infrastructure problems and failed points (the result still holds
+// every successful row).
+func RunFig4Sweep(p Preset, opt runner.Options) (Fig4Result, error) {
+	outs, err := runner.Run(sweepName("fig4", p), Fig4Points(p), opt)
+	if err != nil {
+		return Fig4Result{Preset: p}, err
+	}
+	return Fig4Result{Preset: p, Rows: runner.Results(outs)}, runner.FailErr(outs)
+}
+
+// RunFig4 is the sequential entry point (panics on failure, like
+// sim.MustRun).
+func RunFig4(p Preset, progress io.Writer) Fig4Result {
+	res, err := RunFig4Sweep(p, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
+	"xmem/internal/experiments/runner"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
 )
@@ -67,28 +69,66 @@ func tunedTile(tiles []uint64, l3 uint64) uint64 {
 	return best
 }
 
-// RunFig5 reproduces Figure 5: the tile is tuned for the preset's full L3
-// and the same binary runs with the full, half, and quarter caches. The
-// fig4 argument is accepted for API symmetry (its sweep can sanity-check
-// the tuned tile) and may be nil.
-func RunFig5(p Preset, fig4 *Fig4Result, progress io.Writer) Fig5Result {
-	_ = fig4
+// Fig5Points builds the sweep: one point per kernel, each running the
+// tuned tile against the full, half, and quarter caches.
+func Fig5Points(p Preset) []runner.Point[Fig5Row] {
 	sizes := []uint64{p.UC1L3, p.UC1L3 / 2, p.UC1L3 / 4}
-	res := Fig5Result{Preset: p}
+	var pts []runner.Point[Fig5Row]
 	for _, k := range uc1Kernels(p) {
-		tile := tunedTile(p.UC1Tiles, p.UC1L3)
-		w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
-		row := Fig5Row{Kernel: k.Name, TileBytes: tile, CacheSizes: sizes}
-		for _, l3 := range sizes {
-			base := sim.MustRun(uc1Config(p, l3, false, false), w)
-			xmem := sim.MustRun(uc1Config(p, l3, true, false), w)
-			row.BaselineCycles = append(row.BaselineCycles, base.Cycles)
-			row.XMemCycles = append(row.XMemCycles, xmem.Cycles)
-			progressf(progress, "fig5 %-10s tile=%-7s L3=%-6s base=%12d xmem=%12d\n",
-				k.Name, sizeLabel(tile), sizeLabel(l3), base.Cycles, xmem.Cycles)
-		}
-		row.RefCycles = row.BaselineCycles[0]
-		res.Rows = append(res.Rows, row)
+		k := k
+		pts = append(pts, runner.Point[Fig5Row]{
+			Key: k.Name,
+			Run: func(*runner.Ctx) (Fig5Row, error) {
+				tile := tunedTile(p.UC1Tiles, p.UC1L3)
+				w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
+				row := Fig5Row{Kernel: k.Name, TileBytes: tile, CacheSizes: sizes}
+				for _, l3 := range sizes {
+					base, err := sim.Run(uc1Config(p, l3, false, false), w)
+					if err != nil {
+						return Fig5Row{}, err
+					}
+					xmem, err := sim.Run(uc1Config(p, l3, true, false), w)
+					if err != nil {
+						return Fig5Row{}, err
+					}
+					row.BaselineCycles = append(row.BaselineCycles, base.Cycles)
+					row.XMemCycles = append(row.XMemCycles, xmem.Cycles)
+				}
+				row.RefCycles = row.BaselineCycles[0]
+				return row, nil
+			},
+			Line: func(r Fig5Row) string {
+				var b strings.Builder
+				for i, l3 := range r.CacheSizes {
+					fmt.Fprintf(&b, "fig5 %-10s tile=%-7s L3=%-6s base=%12d xmem=%12d\n",
+						r.Kernel, sizeLabel(r.TileBytes), sizeLabel(l3),
+						r.BaselineCycles[i], r.XMemCycles[i])
+				}
+				return b.String()
+			},
+		})
+	}
+	return pts
+}
+
+// RunFig5Sweep reproduces Figure 5 on the sweep runner: the tile is tuned
+// for the preset's full L3 and the same binary runs with the full, half,
+// and quarter caches. The fig4 argument is accepted for API symmetry (its
+// sweep can sanity-check the tuned tile) and may be nil.
+func RunFig5Sweep(p Preset, fig4 *Fig4Result, opt runner.Options) (Fig5Result, error) {
+	_ = fig4
+	outs, err := runner.Run(sweepName("fig5", p), Fig5Points(p), opt)
+	if err != nil {
+		return Fig5Result{Preset: p}, err
+	}
+	return Fig5Result{Preset: p, Rows: runner.Results(outs)}, runner.FailErr(outs)
+}
+
+// RunFig5 is the sequential entry point (panics on failure).
+func RunFig5(p Preset, fig4 *Fig4Result, progress io.Writer) Fig5Result {
+	res, err := RunFig5Sweep(p, fig4, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"io"
 
+	"xmem/internal/experiments/runner"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
 )
 
-// Fig6Bandwidths are the per-core DRAM bandwidths of the Figure 6 sweep.
-var Fig6Bandwidths = []float64{2e9, 1e9, 0.5e9}
+// DefaultFig6Bandwidths returns the per-core DRAM bandwidths the paper's
+// Figure 6 sweeps (a fresh slice per call, so callers can't share mutable
+// state across concurrent sweeps).
+func DefaultFig6Bandwidths() []float64 { return []float64{2e9, 1e9, 0.5e9} }
 
 // Fig6Row is one (kernel, bandwidth) point: speedups of the two XMem design
 // points over the Baseline at the largest tile size (§5.4 "Effect of
@@ -34,35 +37,79 @@ func (r Fig6Row) FullSpeedup() float64 {
 	return float64(r.BaselineCycles) / float64(r.XMemCycles)
 }
 
-// Fig6Result is the full sweep.
+// Fig6Result is the full sweep. Bandwidths records the sweep's bandwidth
+// axis (largest first, as run).
 type Fig6Result struct {
-	Preset Preset
-	Rows   []Fig6Row
+	Preset     Preset
+	Bandwidths []float64
+	Rows       []Fig6Row
 }
 
-// RunFig6 reproduces Figure 6: Baseline vs XMem-Pref vs XMem at the largest
-// tile size, across per-core memory bandwidths.
-func RunFig6(p Preset, progress io.Writer) Fig6Result {
-	res := Fig6Result{Preset: p}
+// Fig6Points builds the sweep: one independent point per (kernel,
+// bandwidth) at the largest tile size.
+func Fig6Points(p Preset, bandwidths []float64) []runner.Point[Fig6Row] {
 	largest := p.UC1Tiles[len(p.UC1Tiles)-1]
+	var pts []runner.Point[Fig6Row]
 	for _, k := range uc1Kernels(p) {
-		w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: largest, Steps: p.UC1Steps})
-		for _, bw := range Fig6Bandwidths {
-			q := p
-			q.UC1BandwidthPerCore = bw
-			base := sim.MustRun(uc1Config(q, p.UC1L3, false, false), w)
-			pref := sim.MustRun(uc1Config(q, p.UC1L3, false, true), w)
-			full := sim.MustRun(uc1Config(q, p.UC1L3, true, false), w)
-			row := Fig6Row{
-				Kernel: k.Name, BandwidthPerSec: bw,
-				BaselineCycles: base.Cycles,
-				XMemPrefCycles: pref.Cycles,
-				XMemCycles:     full.Cycles,
-			}
-			res.Rows = append(res.Rows, row)
-			progressf(progress, "fig6 %-10s bw=%.1fGB/s base=%12d pref=%12d xmem=%12d\n",
-				k.Name, bw/1e9, base.Cycles, pref.Cycles, full.Cycles)
+		k := k
+		for _, bw := range bandwidths {
+			bw := bw
+			pts = append(pts, runner.Point[Fig6Row]{
+				Key: fmt.Sprintf("%s/bw=%.1fGB", k.Name, bw/1e9),
+				Run: func(*runner.Ctx) (Fig6Row, error) {
+					w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: largest, Steps: p.UC1Steps})
+					q := p
+					q.UC1BandwidthPerCore = bw
+					base, err := sim.Run(uc1Config(q, p.UC1L3, false, false), w)
+					if err != nil {
+						return Fig6Row{}, err
+					}
+					pref, err := sim.Run(uc1Config(q, p.UC1L3, false, true), w)
+					if err != nil {
+						return Fig6Row{}, err
+					}
+					full, err := sim.Run(uc1Config(q, p.UC1L3, true, false), w)
+					if err != nil {
+						return Fig6Row{}, err
+					}
+					return Fig6Row{
+						Kernel: k.Name, BandwidthPerSec: bw,
+						BaselineCycles: base.Cycles,
+						XMemPrefCycles: pref.Cycles,
+						XMemCycles:     full.Cycles,
+					}, nil
+				},
+				Line: func(r Fig6Row) string {
+					return fmt.Sprintf("fig6 %-10s bw=%.1fGB/s base=%12d pref=%12d xmem=%12d\n",
+						r.Kernel, r.BandwidthPerSec/1e9, r.BaselineCycles, r.XMemPrefCycles, r.XMemCycles)
+				},
+			})
 		}
+	}
+	return pts
+}
+
+// RunFig6Sweep reproduces Figure 6 on the sweep runner: Baseline vs
+// XMem-Pref vs XMem at the largest tile size, across per-core memory
+// bandwidths. A nil bandwidths slice means DefaultFig6Bandwidths.
+func RunFig6Sweep(p Preset, bandwidths []float64, opt runner.Options) (Fig6Result, error) {
+	if bandwidths == nil {
+		bandwidths = DefaultFig6Bandwidths()
+	}
+	outs, err := runner.Run(sweepName("fig6", p), Fig6Points(p, bandwidths), opt)
+	if err != nil {
+		return Fig6Result{Preset: p, Bandwidths: bandwidths}, err
+	}
+	res := Fig6Result{Preset: p, Bandwidths: bandwidths, Rows: runner.Results(outs)}
+	return res, runner.FailErr(outs)
+}
+
+// RunFig6 is the sequential entry point at the default bandwidths (panics
+// on failure).
+func RunFig6(p Preset, progress io.Writer) Fig6Result {
+	res, err := RunFig6Sweep(p, nil, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }
@@ -90,7 +137,11 @@ func (r Fig6Result) Print(w io.Writer) {
 	}
 	t.write(w)
 	fmt.Fprintf(w, "\nSummary: XMem over XMem-Pref: ")
-	for i, bw := range Fig6Bandwidths {
+	bws := r.Bandwidths
+	if bws == nil {
+		bws = DefaultFig6Bandwidths()
+	}
+	for i, bw := range bws {
 		if i > 0 {
 			fmt.Fprint(w, ", ")
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"xmem/internal/experiments/runner"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
 )
@@ -101,64 +102,106 @@ func uc2Config(p Preset, scheme string, alloc sim.AllocPolicy, pf, ideal bool) s
 	return cfg
 }
 
-// RunFig7 reproduces Figures 7 and 8: for each workload it searches the
-// baseline's mapping schemes (prefetcher on), retries the winner with the
-// prefetcher off, then runs XMem placement and the ideal-RBL system with
-// the same prefetcher choice.
-func RunFig7(p Preset, progress io.Writer) Fig7Result {
-	res := Fig7Result{Preset: p}
+// Fig7Points builds the sweep: one independent point per workload. Each
+// point runs the full baseline scheme search, the XMem placement search,
+// and the ideal-RBL bound; the randomized allocator seed stays fixed so a
+// point's result is a pure function of the preset.
+func Fig7Points(p Preset) []runner.Point[Fig7Row] {
+	var pts []runner.Point[Fig7Row]
 	for _, spec := range uc2Specs(p) {
-		w := workload.Synthetic(spec)
+		spec := spec
+		pts = append(pts, runner.Point[Fig7Row]{
+			Key: spec.Name,
+			Run: func(*runner.Ctx) (Fig7Row, error) {
+				return runFig7Workload(p, spec)
+			},
+			Line: func(r Fig7Row) string {
+				return fmt.Sprintf("fig7 %-12s base=%12d (%s, pf=%v) xmem=%12d (x%.3f) ideal=%12d (x%.3f)\n",
+					r.Workload, r.BaselineCycles, r.BaselineScheme, r.BaselinePrefetch,
+					r.XMemCycles, r.XMemSpeedup(), r.IdealCycles, r.IdealSpeedup())
+			},
+		})
+	}
+	return pts
+}
 
-		var best sim.Result
-		bestScheme := ""
-		for _, scheme := range p.Schemes {
-			r := sim.MustRun(uc2Config(p, scheme, sim.AllocRandom, true, false), w)
-			progressf(progress, "fig7 %-12s scheme=%-14s cycles=%12d rowhit=%.3f\n",
-				spec.Name, scheme, r.Cycles, r.DRAM.RowHitRate())
-			if bestScheme == "" || r.Cycles < best.Cycles {
-				best, bestScheme = r, scheme
-			}
-		}
-		pf := true
-		if r := sim.MustRun(uc2Config(p, bestScheme, sim.AllocRandom, false, false), w); r.Cycles < best.Cycles {
-			best, pf = r, false
-		}
+// runFig7Workload evaluates one workload: it searches the baseline's
+// mapping schemes (prefetcher on), retries the winner with the prefetcher
+// off, then runs XMem placement and the ideal-RBL system with the same
+// prefetcher choice.
+func runFig7Workload(p Preset, spec workload.SynthSpec) (Fig7Row, error) {
+	w := workload.Synthetic(spec)
 
-		// XMem gets the same best-of strengthening over the mappings its
-		// bank-targeting placement supports.
-		var xmem sim.Result
-		xmemScheme := ""
-		for _, scheme := range p.XMemSchemes {
-			r := sim.MustRun(uc2Config(p, scheme, sim.AllocXMemPlacement, pf, false), w)
-			if xmemScheme == "" || r.Cycles < xmem.Cycles {
-				xmem, xmemScheme = r, scheme
-			}
+	var best sim.Result
+	bestScheme := ""
+	for _, scheme := range p.Schemes {
+		r, err := sim.Run(uc2Config(p, scheme, sim.AllocRandom, true, false), w)
+		if err != nil {
+			return Fig7Row{}, err
 		}
-		ideal := sim.MustRun(uc2Config(p, bestScheme, sim.AllocRandom, pf, true), w)
+		if bestScheme == "" || r.Cycles < best.Cycles {
+			best, bestScheme = r, scheme
+		}
+	}
+	pf := true
+	if r, err := sim.Run(uc2Config(p, bestScheme, sim.AllocRandom, false, false), w); err != nil {
+		return Fig7Row{}, err
+	} else if r.Cycles < best.Cycles {
+		best, pf = r, false
+	}
 
-		row := Fig7Row{
-			Workload:         spec.Name,
-			BaselineScheme:   bestScheme,
-			BaselinePrefetch: pf,
-			XMemScheme:       xmemScheme,
-			BaselineCycles:   best.Cycles,
-			XMemCycles:       xmem.Cycles,
-			IdealCycles:      ideal.Cycles,
-			BaselineReadLat:  best.DRAM.AvgDemandReadLatency(),
-			XMemReadLat:      xmem.DRAM.AvgDemandReadLatency(),
-			BaselineReadP95:  best.DRAM.ReadLatency.Percentile(95),
-			XMemReadP95:      xmem.DRAM.ReadLatency.Percentile(95),
-			BaselineWriteLat: best.DRAM.AvgWriteLatency(),
-			XMemWriteLat:     xmem.DRAM.AvgWriteLatency(),
-			BaselineRowHit:   best.DRAM.RowHitRate(),
-			XMemRowHit:       xmem.DRAM.RowHitRate(),
-			L3MPKI:           best.L3MPKI,
+	// XMem gets the same best-of strengthening over the mappings its
+	// bank-targeting placement supports.
+	var xmem sim.Result
+	xmemScheme := ""
+	for _, scheme := range p.XMemSchemes {
+		r, err := sim.Run(uc2Config(p, scheme, sim.AllocXMemPlacement, pf, false), w)
+		if err != nil {
+			return Fig7Row{}, err
 		}
-		res.Rows = append(res.Rows, row)
-		progressf(progress, "fig7 %-12s base=%12d (%s, pf=%v) xmem=%12d (x%.3f) ideal=%12d (x%.3f)\n",
-			spec.Name, row.BaselineCycles, bestScheme, pf,
-			row.XMemCycles, row.XMemSpeedup(), row.IdealCycles, row.IdealSpeedup())
+		if xmemScheme == "" || r.Cycles < xmem.Cycles {
+			xmem, xmemScheme = r, scheme
+		}
+	}
+	ideal, err := sim.Run(uc2Config(p, bestScheme, sim.AllocRandom, pf, true), w)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+
+	return Fig7Row{
+		Workload:         spec.Name,
+		BaselineScheme:   bestScheme,
+		BaselinePrefetch: pf,
+		XMemScheme:       xmemScheme,
+		BaselineCycles:   best.Cycles,
+		XMemCycles:       xmem.Cycles,
+		IdealCycles:      ideal.Cycles,
+		BaselineReadLat:  best.DRAM.AvgDemandReadLatency(),
+		XMemReadLat:      xmem.DRAM.AvgDemandReadLatency(),
+		BaselineReadP95:  best.DRAM.ReadLatency.Percentile(95),
+		XMemReadP95:      xmem.DRAM.ReadLatency.Percentile(95),
+		BaselineWriteLat: best.DRAM.AvgWriteLatency(),
+		XMemWriteLat:     xmem.DRAM.AvgWriteLatency(),
+		BaselineRowHit:   best.DRAM.RowHitRate(),
+		XMemRowHit:       xmem.DRAM.RowHitRate(),
+		L3MPKI:           best.L3MPKI,
+	}, nil
+}
+
+// RunFig7Sweep reproduces Figures 7 and 8 on the sweep runner.
+func RunFig7Sweep(p Preset, opt runner.Options) (Fig7Result, error) {
+	outs, err := runner.Run(sweepName("fig7", p), Fig7Points(p), opt)
+	if err != nil {
+		return Fig7Result{Preset: p}, err
+	}
+	return Fig7Result{Preset: p, Rows: runner.Results(outs)}, runner.FailErr(outs)
+}
+
+// RunFig7 is the sequential entry point (panics on failure).
+func RunFig7(p Preset, progress io.Writer) Fig7Result {
+	res, err := RunFig7Sweep(p, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

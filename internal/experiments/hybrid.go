@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"xmem/internal/core"
+	"xmem/internal/experiments/runner"
 	"xmem/internal/mem"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
@@ -117,39 +118,76 @@ func rwRandom(name string, mb int, intensity uint8, writePct int) workload.Struc
 		RW: core.ReadWrite, WritePct: writePct}
 }
 
-// RunHybrid compares all-DRAM, naive hybrid, and XMem hybrid placement.
-func RunHybrid(p Preset, progress io.Writer) HybridResult {
-	const dramFraction = 0.25
-	res := HybridResult{Preset: p, DRAMFraction: dramFraction}
+// hybridDRAMFraction of the footprint fits in the fast tier.
+const hybridDRAMFraction = 0.25
+
+// HybridPoints builds the sweep: one independent point per workload, each
+// running the all-DRAM reference, the naive first-touch hybrid, and the
+// XMem-placed hybrid.
+func HybridPoints(p Preset) []runner.Point[HybridRow] {
+	var pts []runner.Point[HybridRow]
 	for _, base := range hybridSpecs() {
 		spec := base.Scaled(p.UC2Scale)
-		var footprint uint64
-		for _, s := range spec.Structs {
-			footprint += s.SizeBytes
-		}
-		w := workload.Synthetic(spec)
+		pts = append(pts, runner.Point[HybridRow]{
+			Key: spec.Name,
+			Run: func(*runner.Ctx) (HybridRow, error) {
+				var footprint uint64
+				for _, s := range spec.Structs {
+					footprint += s.SizeBytes
+				}
+				run := func(dramBytes uint64, xmem bool) (uint64, error) {
+					cfg := sim.FastConfig(p.UC2L3)
+					cfg.Hybrid = &sim.HybridConfig{
+						DRAMBytes:     pageAlign(dramBytes),
+						NVMBytes:      pageAlign(4 * footprint),
+						XMemPlacement: xmem,
+					}
+					r, err := sim.Run(cfg, workload.Synthetic(spec))
+					if err != nil {
+						return 0, err
+					}
+					return r.Cycles, nil
+				}
+				small := uint64(float64(footprint) * hybridDRAMFraction)
+				row := HybridRow{Workload: spec.Name, FootprintBytes: footprint}
+				var err error
+				if row.AllDRAMCycles, err = run(2*footprint, false); err != nil {
+					return HybridRow{}, err
+				}
+				if row.NaiveCycles, err = run(small, false); err != nil {
+					return HybridRow{}, err
+				}
+				if row.XMemCycles, err = run(small, true); err != nil {
+					return HybridRow{}, err
+				}
+				return row, nil
+			},
+			Line: func(r HybridRow) string {
+				return fmt.Sprintf("hybrid %-10s allDRAM=%11d naive=%11d xmem=%11d (x%.3f, gap closed %.0f%%)\n",
+					r.Workload, r.AllDRAMCycles, r.NaiveCycles, r.XMemCycles,
+					r.Speedup(), 100*r.GapClosed())
+			},
+		})
+	}
+	return pts
+}
 
-		run := func(dramBytes uint64, xmem bool) uint64 {
-			cfg := sim.FastConfig(p.UC2L3)
-			cfg.Hybrid = &sim.HybridConfig{
-				DRAMBytes:     pageAlign(dramBytes),
-				NVMBytes:      pageAlign(4 * footprint),
-				XMemPlacement: xmem,
-			}
-			return sim.MustRun(cfg, w).Cycles
-		}
-		small := uint64(float64(footprint) * dramFraction)
-		row := HybridRow{
-			Workload:       spec.Name,
-			FootprintBytes: footprint,
-			AllDRAMCycles:  run(2*footprint, false),
-			NaiveCycles:    run(small, false),
-			XMemCycles:     run(small, true),
-		}
-		res.Rows = append(res.Rows, row)
-		progressf(progress, "hybrid %-10s allDRAM=%11d naive=%11d xmem=%11d (x%.3f, gap closed %.0f%%)\n",
-			spec.Name, row.AllDRAMCycles, row.NaiveCycles, row.XMemCycles,
-			row.Speedup(), 100*row.GapClosed())
+// RunHybridSweep compares all-DRAM, naive hybrid, and XMem hybrid
+// placement on the sweep runner.
+func RunHybridSweep(p Preset, opt runner.Options) (HybridResult, error) {
+	outs, err := runner.Run(sweepName("hybrid", p), HybridPoints(p), opt)
+	if err != nil {
+		return HybridResult{Preset: p, DRAMFraction: hybridDRAMFraction}, err
+	}
+	res := HybridResult{Preset: p, DRAMFraction: hybridDRAMFraction, Rows: runner.Results(outs)}
+	return res, runner.FailErr(outs)
+}
+
+// RunHybrid is the sequential entry point (panics on failure).
+func RunHybrid(p Preset, progress io.Writer) HybridResult {
+	res, err := RunHybridSweep(p, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"xmem/internal/core"
+	"xmem/internal/experiments/runner"
 	"xmem/internal/mem"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
@@ -74,30 +75,58 @@ func numaWorker(t int, scale float64) workload.Workload {
 	return workload.Synthetic(spec.Scaled(scale))
 }
 
-// RunNuma compares the three placement policies on a two-node machine with
-// one worker per node.
-func RunNuma(p Preset, progress io.Writer) NumaResult {
-	res := NumaResult{Preset: p}
-	ws := []workload.Workload{numaWorker(0, p.UC2Scale), numaWorker(1, p.UC2Scale)}
+// NumaPoints builds the sweep: one independent point per placement policy
+// on a two-node machine with one worker per node.
+func NumaPoints(p Preset) []runner.Point[NumaRow] {
+	var pts []runner.Point[NumaRow]
 	for _, placement := range []string{"node0", "interleave", "xmem"} {
-		cfg := sim.MultiConfig{
-			Core: sim.FastConfig(p.UC2L3),
-			NUMA: &sim.NUMAConfig{
-				Nodes:     2,
-				NodeBytes: 128 << 20,
-				Placement: placement,
+		placement := placement
+		pts = append(pts, runner.Point[NumaRow]{
+			Key: placement,
+			Run: func(*runner.Ctx) (NumaRow, error) {
+				ws := []workload.Workload{numaWorker(0, p.UC2Scale), numaWorker(1, p.UC2Scale)}
+				cfg := sim.MultiConfig{
+					Core: sim.FastConfig(p.UC2L3),
+					NUMA: &sim.NUMAConfig{
+						Nodes:     2,
+						NodeBytes: 128 << 20,
+						Placement: placement,
+					},
+				}
+				r, err := sim.RunMulti(cfg, ws)
+				if err != nil {
+					return NumaRow{}, err
+				}
+				return NumaRow{
+					Placement:      placement,
+					Cycles:         r.Cycles,
+					RemoteFraction: r.RemoteFraction,
+					AvgReadLatency: r.DRAM.AvgDemandReadLatency(),
+				}, nil
 			},
-		}
-		r := sim.MustRunMulti(cfg, ws)
-		row := NumaRow{
-			Placement:      placement,
-			Cycles:         r.Cycles,
-			RemoteFraction: r.RemoteFraction,
-			AvgReadLatency: r.DRAM.AvgDemandReadLatency(),
-		}
-		res.Rows = append(res.Rows, row)
-		progressf(progress, "numa %-11s cycles=%11d remote=%.1f%% readlat=%.0f\n",
-			placement, row.Cycles, 100*row.RemoteFraction, row.AvgReadLatency)
+			Line: func(r NumaRow) string {
+				return fmt.Sprintf("numa %-11s cycles=%11d remote=%.1f%% readlat=%.0f\n",
+					r.Placement, r.Cycles, 100*r.RemoteFraction, r.AvgReadLatency)
+			},
+		})
+	}
+	return pts
+}
+
+// RunNumaSweep compares the placement policies on the sweep runner.
+func RunNumaSweep(p Preset, opt runner.Options) (NumaResult, error) {
+	outs, err := runner.Run(sweepName("numa", p), NumaPoints(p), opt)
+	if err != nil {
+		return NumaResult{Preset: p}, err
+	}
+	return NumaResult{Preset: p, Rows: runner.Results(outs)}, runner.FailErr(outs)
+}
+
+// RunNuma is the sequential entry point (panics on failure).
+func RunNuma(p Preset, progress io.Writer) NumaResult {
+	res, err := RunNumaSweep(p, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	xm "xmem/internal/core"
+	"xmem/internal/experiments/runner"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
 )
@@ -25,22 +26,52 @@ type ALBResult struct {
 	Points   []ALBPoint
 }
 
-// RunALB measures ALB hit rates across ALB sizes.
-func RunALB(p Preset, progress io.Writer) ALBResult {
+// ALBPoints builds the sweep: one independent point per ALB size on a
+// representative use-case-1 kernel.
+func ALBPoints(p Preset) []runner.Point[ALBPoint] {
 	k := uc1Kernels(p)[0]
 	tile := p.UC1Tiles[len(p.UC1Tiles)/2]
-	w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
-	res := ALBResult{Preset: p, Workload: w.Name}
+	var pts []runner.Point[ALBPoint]
 	for _, entries := range []int{16, 64, 128, 256, 512} {
-		cfg := uc1Config(p, p.UC1L3, true, false)
-		cfg.AMU.ALBEntries = entries
-		r := sim.MustRun(cfg, w)
-		res.Points = append(res.Points, ALBPoint{
-			Entries: entries,
-			HitRate: r.ALBHitRate,
-			Lookups: r.AMU.Lookups,
+		entries := entries
+		pts = append(pts, runner.Point[ALBPoint]{
+			Key: fmt.Sprintf("entries=%d", entries),
+			Run: func(*runner.Ctx) (ALBPoint, error) {
+				w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
+				cfg := uc1Config(p, p.UC1L3, true, false)
+				cfg.AMU.ALBEntries = entries
+				r, err := sim.Run(cfg, w)
+				if err != nil {
+					return ALBPoint{}, err
+				}
+				return ALBPoint{Entries: entries, HitRate: r.ALBHitRate, Lookups: r.AMU.Lookups}, nil
+			},
+			Line: func(a ALBPoint) string {
+				return fmt.Sprintf("alb entries=%4d hit=%.4f lookups=%d\n", a.Entries, a.HitRate, a.Lookups)
+			},
 		})
-		progressf(progress, "alb entries=%4d hit=%.4f lookups=%d\n", entries, r.ALBHitRate, r.AMU.Lookups)
+	}
+	return pts
+}
+
+// RunALBSweep measures ALB hit rates across ALB sizes on the sweep runner.
+func RunALBSweep(p Preset, opt runner.Options) (ALBResult, error) {
+	k := uc1Kernels(p)[0]
+	tile := p.UC1Tiles[len(p.UC1Tiles)/2]
+	name := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps}).Name
+	outs, err := runner.Run(sweepName("alb", p), ALBPoints(p), opt)
+	if err != nil {
+		return ALBResult{Preset: p, Workload: name}, err
+	}
+	res := ALBResult{Preset: p, Workload: name, Points: runner.Results(outs)}
+	return res, runner.FailErr(outs)
+}
+
+// RunALB is the sequential entry point (panics on failure).
+func RunALB(p Preset, progress io.Writer) ALBResult {
+	res, err := RunALBSweep(p, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }
@@ -98,8 +129,79 @@ type OverheadResult struct {
 	CtxPoints []CtxSwitchPoint
 }
 
-// RunOverhead computes the §4.4 numbers.
-func RunOverhead(p Preset, progress io.Writer) OverheadResult {
+// OverheadKernelPoints builds the instruction-overhead sweep: one point
+// per use-case-1 kernel.
+func OverheadKernelPoints(p Preset) []runner.Point[OverheadRow] {
+	tile := p.UC1Tiles[len(p.UC1Tiles)/2]
+	var pts []runner.Point[OverheadRow]
+	for _, k := range uc1Kernels(p) {
+		k := k
+		pts = append(pts, runner.Point[OverheadRow]{
+			Key: k.Name,
+			Run: func(*runner.Ctx) (OverheadRow, error) {
+				w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
+				r, err := sim.Run(uc1Config(p, p.UC1L3, true, false), w)
+				if err != nil {
+					return OverheadRow{}, err
+				}
+				row := OverheadRow{
+					Kernel:      k.Name,
+					XMemOps:     r.Lib.RuntimeOps,
+					XMemInstrs:  r.Lib.Instructions,
+					TotalInstrs: r.Instructions,
+				}
+				if row.TotalInstrs > 0 {
+					row.OverheadFrac = float64(row.XMemInstrs) / float64(row.TotalInstrs)
+				}
+				return row, nil
+			},
+			Line: func(r OverheadRow) string {
+				return fmt.Sprintf("overhead %-10s ops=%6d instrs=%8d total=%12d frac=%.5f%%\n",
+					r.Kernel, r.XMemOps, r.XMemInstrs, r.TotalInstrs, 100*r.OverheadFrac)
+			},
+		})
+	}
+	return pts
+}
+
+// OverheadCtxPoints builds the context-switch sensitivity sweep on the
+// first kernel: one point per forced-switch interval.
+func OverheadCtxPoints(p Preset) []runner.Point[CtxSwitchPoint] {
+	tile := p.UC1Tiles[len(p.UC1Tiles)/2]
+	k0 := uc1Kernels(p)[0]
+	var pts []runner.Point[CtxSwitchPoint]
+	for _, interval := range []uint64{0, 1 << 20, 1 << 17, 1 << 14} {
+		interval := interval
+		pts = append(pts, runner.Point[CtxSwitchPoint]{
+			Key: fmt.Sprintf("interval=%d", interval),
+			Run: func(*runner.Ctx) (CtxSwitchPoint, error) {
+				w := k0.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
+				cfg := uc1Config(p, p.UC1L3, true, false)
+				cfg.ContextSwitchInterval = interval
+				r, err := sim.Run(cfg, w)
+				if err != nil {
+					return CtxSwitchPoint{}, err
+				}
+				return CtxSwitchPoint{
+					IntervalCycles: interval,
+					Switches:       r.ContextSwitches,
+					ALBHitRate:     r.ALBHitRate,
+					Cycles:         r.Cycles,
+				}, nil
+			},
+			Line: func(c CtxSwitchPoint) string {
+				return fmt.Sprintf("overhead ctx-switch interval=%d switches=%d alb=%.4f\n",
+					c.IntervalCycles, c.Switches, c.ALBHitRate)
+			},
+		})
+	}
+	return pts
+}
+
+// RunOverheadSweep computes the §4.4 numbers: analytic storage overheads
+// inline, then the instruction-overhead and context-switch sweeps on the
+// runner.
+func RunOverheadSweep(p Preset, opt runner.Options) (OverheadResult, error) {
 	phys := uint64(8) << 30 // the paper's 8 GB example
 	res := OverheadResult{
 		Preset:    p,
@@ -112,39 +214,29 @@ func RunOverhead(p Preset, progress io.Writer) OverheadResult {
 	res.AAMFraction = float64(res.AAMBytes) / float64(phys)
 	res.AAMSmallFrac = float64(res.AAMSmallBytes) / float64(phys)
 
-	tile := p.UC1Tiles[len(p.UC1Tiles)/2]
-	for _, k := range uc1Kernels(p) {
-		w := k.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
-		r := sim.MustRun(uc1Config(p, p.UC1L3, true, false), w)
-		row := OverheadRow{
-			Kernel:      k.Name,
-			XMemOps:     r.Lib.RuntimeOps,
-			XMemInstrs:  r.Lib.Instructions,
-			TotalInstrs: r.Instructions,
-		}
-		if row.TotalInstrs > 0 {
-			row.OverheadFrac = float64(row.XMemInstrs) / float64(row.TotalInstrs)
-		}
-		res.Rows = append(res.Rows, row)
-		progressf(progress, "overhead %-10s ops=%6d instrs=%8d total=%12d frac=%.5f%%\n",
-			k.Name, row.XMemOps, row.XMemInstrs, row.TotalInstrs, 100*row.OverheadFrac)
+	kernelOuts, err := runner.Run(sweepName("overhead-kernels", p), OverheadKernelPoints(p), opt)
+	if err != nil {
+		return res, err
 	}
+	res.Rows = runner.Results(kernelOuts)
 
-	// Context-switch sensitivity on the first kernel.
-	k0 := uc1Kernels(p)[0]
-	w0 := k0.Make(workload.TiledConfig{N: p.UC1N, TileBytes: tile, Steps: p.UC1Steps})
-	for _, interval := range []uint64{0, 1 << 20, 1 << 17, 1 << 14} {
-		cfg := uc1Config(p, p.UC1L3, true, false)
-		cfg.ContextSwitchInterval = interval
-		r := sim.MustRun(cfg, w0)
-		res.CtxPoints = append(res.CtxPoints, CtxSwitchPoint{
-			IntervalCycles: interval,
-			Switches:       r.ContextSwitches,
-			ALBHitRate:     r.ALBHitRate,
-			Cycles:         r.Cycles,
-		})
-		progressf(progress, "overhead ctx-switch interval=%d switches=%d alb=%.4f\n",
-			interval, r.ContextSwitches, r.ALBHitRate)
+	ctxOuts, err := runner.Run(sweepName("overhead-ctx", p), OverheadCtxPoints(p), opt)
+	if err != nil {
+		return res, err
+	}
+	res.CtxPoints = runner.Results(ctxOuts)
+
+	if err := runner.FailErr(kernelOuts); err != nil {
+		return res, err
+	}
+	return res, runner.FailErr(ctxOuts)
+}
+
+// RunOverhead is the sequential entry point (panics on failure).
+func RunOverhead(p Preset, progress io.Writer) OverheadResult {
+	res, err := RunOverheadSweep(p, runner.Options{Parallel: 1, Progress: progress})
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

@@ -110,6 +110,10 @@ func sizeLabel(b uint64) string {
 	}
 }
 
+// sweepName identifies one figure's sweep at one preset; point seeds,
+// checkpoint files, and runner metric names all hang off it.
+func sweepName(fig string, p Preset) string { return fig + "/" + p.Name }
+
 // progressf writes progress output if w is non-nil.
 func progressf(w io.Writer, format string, args ...interface{}) {
 	if w != nil {

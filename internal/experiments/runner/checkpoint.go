@@ -1,0 +1,179 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// CheckpointSchema identifies the sweep checkpoint format.
+const CheckpointSchema = "xmem.sweep.v1"
+
+// checkpointFile is the on-disk shape: one record per completed point,
+// keyed by point key. Failed points are recorded too (with Err set), so a
+// resumed sweep retries exactly the failed and missing points.
+type checkpointFile struct {
+	Schema string                 `json:"schema"`
+	Sweep  string                 `json:"sweep"`
+	Points map[string]pointRecord `json:"points"`
+}
+
+type pointRecord struct {
+	Result    json.RawMessage `json:"result,omitempty"`
+	Err       string          `json:"err,omitempty"`
+	WallNanos int64           `json:"wallNanos"`
+}
+
+// checkpoint persists outcomes as they complete. Callers serialize access
+// (the runner holds its completion mutex around record).
+type checkpoint struct {
+	path  string
+	state checkpointFile
+}
+
+// CheckpointPath returns the checkpoint file a sweep uses under dir.
+func CheckpointPath(dir, sweep string) string {
+	return filepath.Join(dir, sanitizeFile(sweep)+".ckpt.json")
+}
+
+// sanitizeFile maps a sweep name to a filesystem-safe base name.
+func sanitizeFile(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' || r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// openCheckpoint prepares the sweep's checkpoint per the options: nil when
+// checkpointing is off, otherwise a checkpoint preloaded with resumable
+// records when Resume is set and a prior file exists.
+func openCheckpoint(sweep string, opt Options) (*checkpoint, error) {
+	if opt.CheckpointDir == "" {
+		return nil, nil
+	}
+	ck := &checkpoint{
+		path: CheckpointPath(opt.CheckpointDir, sweep),
+		state: checkpointFile{
+			Schema: CheckpointSchema,
+			Sweep:  sweep,
+			Points: map[string]pointRecord{},
+		},
+	}
+	if !opt.Resume {
+		return ck, nil
+	}
+	data, err := os.ReadFile(ck.path)
+	if os.IsNotExist(err) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: reading checkpoint: %w", err)
+	}
+	var prior checkpointFile
+	if err := json.Unmarshal(data, &prior); err != nil {
+		return nil, fmt.Errorf("runner: checkpoint %s does not parse: %w", ck.path, err)
+	}
+	if prior.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("runner: checkpoint %s has schema %q, want %q", ck.path, prior.Schema, CheckpointSchema)
+	}
+	if prior.Sweep != sweep {
+		return nil, fmt.Errorf("runner: checkpoint %s belongs to sweep %q, not %q", ck.path, prior.Sweep, sweep)
+	}
+	if prior.Points != nil {
+		ck.state.Points = prior.Points
+	}
+	return ck, nil
+}
+
+// restore fills out from the checkpoint if it holds a successful result for
+// the key. Failed records are dropped from the kept state so a completed
+// re-run overwrites them.
+func (ck *checkpoint) restore(key string, out outcomeRestorer) bool {
+	rec, ok := ck.state.Points[key]
+	if !ok {
+		return false
+	}
+	if rec.Err != "" || rec.Result == nil {
+		return false
+	}
+	if !out.restoreFrom(rec.Result) {
+		// Result shape changed since the checkpoint was written; re-run.
+		delete(ck.state.Points, key)
+		return false
+	}
+	out.setWall(time.Duration(rec.WallNanos))
+	return true
+}
+
+// record persists a completed outcome and rewrites the file atomically
+// (temp file + rename), so an interrupt mid-write never corrupts the
+// checkpoint.
+func (ck *checkpoint) record(out outcomeRecorder) error {
+	raw, err := out.marshalResult()
+	if err != nil {
+		return fmt.Errorf("runner: marshaling %s result for checkpoint: %w", out.key(), err)
+	}
+	ck.state.Points[out.key()] = pointRecord{
+		Result:    raw,
+		Err:       out.errText(),
+		WallNanos: int64(out.wall()),
+	}
+	data, err := json.MarshalIndent(&ck.state, "", " ")
+	if err != nil {
+		return fmt.Errorf("runner: marshaling checkpoint: %w", err)
+	}
+	tmp := ck.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("runner: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, ck.path); err != nil {
+		return fmt.Errorf("runner: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// outcomeRestorer/outcomeRecorder adapt the generic Outcome[R] to the
+// non-generic checkpoint methods.
+type outcomeRestorer interface {
+	restoreFrom(raw json.RawMessage) bool
+	setWall(d time.Duration)
+}
+
+type outcomeRecorder interface {
+	key() string
+	errText() string
+	wall() time.Duration
+	marshalResult() (json.RawMessage, error)
+}
+
+func (o *Outcome[R]) restoreFrom(raw json.RawMessage) bool {
+	var r R
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return false
+	}
+	o.Result = r
+	o.Resumed = true
+	return true
+}
+
+func (o *Outcome[R]) setWall(d time.Duration) { o.Wall = d }
+
+func (o Outcome[R]) key() string         { return o.Key }
+func (o Outcome[R]) errText() string     { return o.Err }
+func (o Outcome[R]) wall() time.Duration { return o.Wall }
+
+func (o Outcome[R]) marshalResult() (json.RawMessage, error) {
+	if o.Err != "" {
+		return nil, nil
+	}
+	return json.Marshal(o.Result)
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"xmem/internal/experiments/runner"
+)
+
+// TestFig4SweepParallelMatchesSequential is the acceptance check for the
+// sweep port: fanning a figure's points over workers must produce the same
+// rows in the same order — and therefore byte-identical report output — as
+// the sequential run.
+func TestFig4SweepParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	p := Mini()
+	p.UC1Kernels = []string{"gemm"}
+	p.UC1N = 96
+
+	seq, err := RunFig4Sweep(p, runner.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFig4Sweep(p, runner.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Rows, par.Rows) {
+		t.Errorf("rows differ:\nsequential %+v\nparallel   %+v", seq.Rows, par.Rows)
+	}
+	var a, b bytes.Buffer
+	seq.Print(&a)
+	par.Print(&b)
+	if a.String() != b.String() {
+		t.Error("report output not byte-identical between sequential and parallel runs")
+	}
+}
+
+// TestFig4SweepCheckpointResume runs a figure sweep with checkpointing,
+// then resumes it: every point must restore rather than re-run, and the
+// assembled result must be identical.
+func TestFig4SweepCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	p := Mini()
+	p.UC1Kernels = []string{"gemm"}
+	p.UC1N = 96
+	dir := t.TempDir()
+
+	first, err := RunFig4Sweep(p, runner.Options{Parallel: 2, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := runner.Run(sweepName("fig4", p), Fig4Points(p),
+		runner.Options{Parallel: 2, CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if !o.Resumed {
+			t.Errorf("point %s re-ran instead of resuming", o.Key)
+		}
+	}
+	if got := runner.Results(outs); !reflect.DeepEqual(got, first.Rows) {
+		t.Errorf("resumed rows differ:\nfirst   %+v\nresumed %+v", first.Rows, got)
+	}
+}
+
+// TestFig6SweepBandwidthsParameter exercises the bandwidths parameter that
+// replaced the old mutable package-level default.
+func TestFig6SweepBandwidthsParameter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	p := Mini()
+	p.UC1Kernels = []string{"gemm"}
+	p.UC1N = 96
+	bws := []float64{1e9}
+	res, err := RunFig6Sweep(p, bws, runner.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].BandwidthPerSec != 1e9 {
+		t.Fatalf("rows = %+v, want exactly the requested bandwidth", res.Rows)
+	}
+	if !reflect.DeepEqual(res.Bandwidths, bws) {
+		t.Errorf("result bandwidths = %v, want %v", res.Bandwidths, bws)
+	}
+	// The default set is a fresh slice per call: mutating one copy must not
+	// leak into the next.
+	d := DefaultFig6Bandwidths()
+	d[0] = 0
+	if DefaultFig6Bandwidths()[0] == 0 {
+		t.Error("DefaultFig6Bandwidths shares state across calls")
+	}
+}

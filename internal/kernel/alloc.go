@@ -17,6 +17,10 @@ import (
 var ErrOutOfMemory = errors.New("kernel: out of physical frames")
 
 // FrameAllocator hands out physical page frames.
+//
+// Implementations are not safe for concurrent use: each simulated machine
+// owns its allocator, and parallel experiment sweeps get isolation by
+// building one machine per sweep point, never by sharing allocators.
 type FrameAllocator interface {
 	// AllocFrame returns the base address of a free frame. preferredBanks
 	// (per-channel bank indexes) steers bank-aware allocators; others
@@ -53,19 +57,31 @@ func (a *SequentialAllocator) FreeFrames() int { return int(a.frames - a.next) }
 
 // RandomizedAllocator hands out frames in a seeded random order — the
 // strengthened baseline of §6.3 (randomized virtual-to-physical mapping,
-// shown to beat the Buddy allocator [23]).
+// shown to beat the Buddy allocator [23]). All randomness is drawn from
+// the rand.Rand the constructor builds (or is handed); the package never
+// touches the global math/rand state, so concurrent sweeps with per-point
+// seeds cannot interfere with one another.
 type RandomizedAllocator struct {
 	free []uint64
 }
 
-// NewRandomizedAllocator covers physBytes with a deterministic shuffle.
+// NewRandomizedAllocator covers physBytes with a deterministic shuffle
+// derived from seed. Equal (physBytes, seed) always yields the same frame
+// order.
 func NewRandomizedAllocator(physBytes uint64, seed int64) *RandomizedAllocator {
+	return NewRandomizedAllocatorRand(physBytes, rand.New(rand.NewSource(seed)))
+}
+
+// NewRandomizedAllocatorRand is NewRandomizedAllocator with a
+// caller-owned random stream — the form parallel sweep points use with
+// their per-point runner.Ctx.Rand. The allocator consumes from rng only
+// during construction.
+func NewRandomizedAllocatorRand(physBytes uint64, rng *rand.Rand) *RandomizedAllocator {
 	n := physBytes / mem.PageBytes
 	free := make([]uint64, n)
 	for i := range free {
 		free[i] = uint64(i)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
 	return &RandomizedAllocator{free: free}
 }

@@ -33,7 +33,8 @@ const UnattributedName = "(unattributed)"
 // AtomTable accumulates per-atom counters for one machine. Counters are
 // keyed by AtomID and survive ATOM_UNMAP/remap: attribution is a property
 // of the run, not of the current mapping. Events that resolve to no atom
-// accumulate under core.InvalidAtom.
+// accumulate under core.InvalidAtom. Like Registry, an AtomTable is not
+// safe for concurrent use; the simulator is single-threaded per machine.
 type AtomTable struct {
 	counters map[core.AtomID]*AtomCounters
 	names    map[core.AtomID]string

@@ -62,6 +62,10 @@ type memorySystem interface {
 
 // Machine is one assembled single-core system executing one workload.
 // It implements workload.Program.
+//
+// A Machine is not safe for concurrent use: the simulator is
+// single-threaded per machine. Parallel experiment sweeps build one
+// Machine per sweep point; nothing is shared between points.
 type Machine struct {
 	cfg Config
 	w   workload.Workload
