@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet xmem-vet lint fmtcheck check bench \
-        race sweep-smoke metrics-smoke experiments experiments-paper \
+.PHONY: all build test test-short vet xmem-vet vet-json lint fmtcheck check \
+        bench race sweep-smoke metrics-smoke experiments experiments-paper \
         examples clean
 
 all: build vet test
@@ -16,19 +16,26 @@ vet:
 	$(GO) vet ./...
 
 # xmem-vet statically checks every XMemLib call site against the Atom
-# contract (see DESIGN.md, "Correctness tooling"). Exits non-zero on any
-# finding.
+# contract and the declared attributes against provable access shapes (see
+# DESIGN.md, "Correctness tooling"). Exits non-zero on any finding.
 xmem-vet:
 	$(GO) run ./cmd/xmem-vet ./...
+
+# Machine-readable findings for trend tracking: writes the xmem-vet/v1
+# schema to results_vet.json (validate with xmem-inspect -vet). The file is
+# written even when the run reports findings, so the trend captures them.
+vet-json:
+	$(GO) run ./cmd/xmem-vet -json ./... > results_vet.json; \
+		status=$$?; $(GO) run ./cmd/xmem-inspect -vet results_vet.json; exit $$status
 
 fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# lint = toolchain vet + race-checked metadata-plane tests + xmem-vet.
-lint: vet fmtcheck
+# lint = toolchain vet + race-checked metadata-plane tests + xmem-vet
+# (machine-readable, schema-validated via vet-json).
+lint: vet fmtcheck vet-json
 	$(GO) test -race ./internal/core/... ./internal/sim/...
-	$(GO) run ./cmd/xmem-vet ./...
 
 check: build vet test race metrics-smoke sweep-smoke
 

@@ -9,6 +9,7 @@
 //	xmem-inspect -workload libq -segment   # hex-dump the encoded segment
 //	xmem-inspect -placement libq -banks 8  # show the §6.2 bank assignment
 //	xmem-inspect -validate-metrics m.json  # check a metrics file's schema
+//	xmem-inspect -vet results_vet.json     # summarize an xmem-vet -json report
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"xmem/internal/analysis"
 	"xmem/internal/compress"
 	xm "xmem/internal/core"
 	"xmem/internal/kernel"
@@ -31,10 +33,13 @@ func main() {
 		placement = flag.String("placement", "", "workload whose §6.2 DRAM placement to show")
 		banks     = flag.Int("banks", 8, "bank groups for -placement")
 		validate  = flag.String("validate-metrics", "", "validate a schema-v1 metrics JSON file (from xmem-sim -metrics)")
+		vet       = flag.String("vet", "", "validate and summarize an xmem-vet/v1 JSON report (from xmem-vet -json)")
 	)
 	flag.Parse()
 
 	switch {
+	case *vet != "":
+		summarizeVet(*vet)
 	case *name != "":
 		atoms, err := declaredAtoms(*name)
 		if err != nil {
@@ -73,6 +78,32 @@ func validateMetrics(path string) {
 	}
 	fmt.Printf("%s: valid %s (workload %s, %d counters, %d samples, %d atoms, epoch %d cycles)\n",
 		path, r.Schema, r.Workload, len(r.Counters), len(r.Samples), len(r.PerAtom), r.EpochCycles)
+}
+
+// summarizeVet validates an xmem-vet/v1 report and prints the per-analyzer
+// finding counts — zero-finding analyzers included, so the summary proves
+// which checks ran.
+func summarizeVet(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	r, err := analysis.ReadVetReport(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("%s: valid %s (module %s, %d analyzers, %d findings)\n",
+		path, r.Schema, r.Module, len(r.Analyzers), len(r.Findings))
+	counts := make(map[string]int, len(r.Analyzers))
+	for _, f := range r.Findings {
+		counts[f.Analyzer]++
+	}
+	for _, a := range r.Analyzers {
+		fmt.Printf("  %-14s %3d finding(s)  %s\n", a.Name, counts[a.Name], a.Doc)
+	}
+	for _, f := range r.Findings {
+		fmt.Printf("  %s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Msg)
+	}
 }
 
 func fail(err error) {

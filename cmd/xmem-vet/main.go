@@ -6,12 +6,16 @@
 //
 // Usage:
 //
-//	xmem-vet [packages]
+//	xmem-vet [-run analyzer[,analyzer]] [-json] [-list] [packages]
 //
 // Package patterns are module-relative: "./..." (everything), "dir/..."
 // (a subtree), or an exact directory ("examples/matvec"). With no
-// arguments the whole module is checked. The exit status is 1 when
-// findings are reported, 2 when the module cannot be loaded.
+// arguments the whole module is checked. -run restricts the run to the
+// named analyzers; -list prints every registered analyzer with its
+// one-line doc and exits; -json emits findings as the stable xmem-vet/v1
+// schema (consumable by xmem-inspect -vet) instead of text. The exit
+// status is 1 when findings are reported, 2 when the module cannot be
+// loaded or a flag is invalid.
 package main
 
 import (
@@ -25,13 +29,34 @@ import (
 )
 
 func main() {
+	var (
+		runFlag  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		jsonFlag = flag.Bool("json", false, "emit findings as xmem-vet/v1 JSON on stdout")
+		listFlag = flag.Bool("list", false, "list registered analyzers and exit")
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xmem-vet [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: xmem-vet [-run analyzer[,analyzer]] [-json] [-list] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *runFlag != "" {
+		var err error
+		analyzers, err = analysis.ByNames(*runFlag)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	wd, err := os.Getwd()
 	if err != nil {
@@ -54,9 +79,16 @@ func main() {
 		fatal(fmt.Errorf("no packages match %v", flag.Args()))
 	}
 
-	findings := analysis.Run(loader.Fset, pkgs, analysis.All())
-	for _, f := range findings {
-		fmt.Println(f)
+	findings := analysis.Run(loader.Fset, pkgs, analyzers)
+	if *jsonFlag {
+		report := analysis.NewVetReport(loader.ModulePath(), root, analyzers, findings)
+		if err := report.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "xmem-vet: %d finding(s)\n", len(findings))

@@ -66,9 +66,46 @@ func (u *Unit) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// All returns the four xmem-vet analyzers.
+// All returns the xmem-vet analyzers, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomLifecycle, AttrConflict, DimCheck, SealedLib}
+	return []*Analyzer{AtomLifecycle, AttrConflict, AttrTruth, DimCheck, NoShare, SealedLib}
+}
+
+// ByNames resolves a comma-separated analyzer selection against All(),
+// preserving All()'s order and rejecting unknown names.
+func ByNames(names string) ([]*Analyzer, error) {
+	want := make(map[string]bool)
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		want[n] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("analysis: empty analyzer selection")
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		known := make([]string, 0, len(All()))
+		for _, a := range All() {
+			known = append(known, a.Name)
+		}
+		return nil, fmt.Errorf("analysis: unknown analyzer(s) %s (have: %s)",
+			strings.Join(unknown, ", "), strings.Join(known, ", "))
+	}
+	return out, nil
 }
 
 // Run executes the analyzers over the packages and returns the findings

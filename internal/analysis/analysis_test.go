@@ -91,6 +91,17 @@ func TestDimCheck(t *testing.T) {
 	runFixture(t, DimCheck, "dimunknown")
 }
 
+func TestAttrTruth(t *testing.T) {
+	runFixture(t, AttrTruth, "truthbad")
+	runFixture(t, AttrTruth, "truthgood")
+	runFixture(t, AttrTruth, "truthunknown")
+}
+
+func TestNoShare(t *testing.T) {
+	runFixture(t, NoShare, "sharebad")
+	runFixture(t, NoShare, "sharegood")
+}
+
 func TestSealedLib(t *testing.T) {
 	runFixture(t, SealedLib, "sealbad")
 	runFixture(t, SealedLib, "sealgood")

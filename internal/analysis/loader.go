@@ -134,8 +134,21 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: l}
+	// Collect every type-check error for the package instead of stopping at
+	// the first: a broken package reports all its problems in one run, each
+	// prefixed with the package path.
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %d error(s):\n\t%s",
+			path, len(typeErrs), strings.Join(typeErrs, "\n\t"))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoShare turns the runner's comment-only ownership rule into a static
+// proof. The simulator's mutable cores — sim.Machine, core.Lib,
+// dram.Controller, obs.AtomTable, kernel.FrameAllocator — are documented
+// "not safe for concurrent use": every sweep point must build its own
+// (DESIGN.md, "Sweep runner"). The analyzer flags the three ways such a
+// value escapes single-ownership:
+//
+//   - captured free by the function a `go` statement starts;
+//   - captured free by a function literal handed to runner.Run, either as
+//     a call argument or as the Run field of a runner.Point literal (sweep
+//     points run concurrently, so a capture is sharing);
+//   - stored into a package-level variable (any goroutine can then reach
+//     it).
+//
+// Struct-field selections do not count as captures — holding a *coreTask
+// whose field is a Machine is the owner's business; only the root
+// identifier's binding matters. A finding on a line carrying (or directly
+// below a line carrying) an `//xmem:share-ok` comment is suppressed: the
+// marker records that a human audited the sharing (e.g. a token-passing
+// protocol that serializes access).
+var NoShare = &Analyzer{
+	Name: "noshare",
+	Doc:  "non-concurrency-safe simulator state leaked into goroutines, sweep points, or globals",
+	Run:  runNoShare,
+}
+
+// noshareTypes are the named types whose values must stay single-owner.
+// Pointers to them count the same.
+var noshareTypes = []struct{ name, pkgSuffix string }{
+	{"Machine", "internal/sim"},
+	{"Lib", "internal/core"},
+	{"Controller", "internal/dram"},
+	{"AtomTable", "internal/obs"},
+	{"FrameAllocator", "internal/kernel"},
+}
+
+// noshareType reports whether t is (a pointer to) one of the guarded types
+// and returns its display name.
+func noshareType(t types.Type) (string, bool) {
+	prefix := ""
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+		prefix = "*"
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	for _, nt := range noshareTypes {
+		if obj.Name() == nt.name && strings.HasSuffix(obj.Pkg().Path(), nt.pkgSuffix) {
+			path := obj.Pkg().Path()
+			short := path[strings.LastIndex(path, "/")+1:]
+			return prefix + short + "." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// shareOK maps file name -> source lines carrying an //xmem:share-ok
+// comment.
+type shareOK map[string]map[int]bool
+
+func collectShareOK(u *Unit) shareOK {
+	sup := make(shareOK)
+	for _, pkg := range u.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.Contains(c.Text, "xmem:share-ok") {
+						continue
+					}
+					p := u.Fset.Position(c.Pos())
+					if sup[p.Filename] == nil {
+						sup[p.Filename] = make(map[int]bool)
+					}
+					sup[p.Filename][p.Line] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// suppressed reports whether pos's line, or the line above it, carries the
+// suppression marker.
+func (s shareOK) suppressed(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	lines := s[p.Filename]
+	return lines != nil && (lines[p.Line] || lines[p.Line-1])
+}
+
+func runNoShare(u *Unit) {
+	sup := collectShareOK(u)
+	seen := make(map[token.Pos]bool) // dedupes nested-context reports
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if seen[pos] || sup.suppressed(u.Fset, pos) {
+			return
+		}
+		seen[pos] = true
+		u.Reportf(pos, format, args...)
+	}
+
+	for _, pkg := range u.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.GoStmt:
+					reportCaptures(u, info, v.Call, v.Pos(), v.End(),
+						"started by a go statement", report)
+				case *ast.CallExpr:
+					if isRunnerRun(info, v) {
+						for _, arg := range v.Args {
+							ast.Inspect(arg, func(x ast.Node) bool {
+								if lit, ok := x.(*ast.FuncLit); ok {
+									reportCaptures(u, info, lit, lit.Pos(), lit.End(),
+										"passed to runner.Run", report)
+									return false
+								}
+								return true
+							})
+						}
+					}
+				case *ast.CompositeLit:
+					if isRunnerPoint(info, v) {
+						for _, elt := range v.Elts {
+							kv, ok := elt.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							key, ok := kv.Key.(*ast.Ident)
+							if !ok || key.Name != "Run" {
+								continue
+							}
+							if lit, ok := ast.Unparen(kv.Value).(*ast.FuncLit); ok {
+								reportCaptures(u, info, lit, lit.Pos(), lit.End(),
+									"captured by a sweep point's Run function", report)
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range v.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj, ok := info.Uses[id].(*types.Var)
+						if !ok || obj.IsField() {
+							continue
+						}
+						if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+							if name, bad := noshareType(obj.Type()); bad {
+								report(id.Pos(),
+									"%s stored into package-level variable %q: %s is not safe for concurrent use; keep it owned by the function that built it (or mark an audited line //xmem:share-ok)",
+									name, obj.Name(), name)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// reportCaptures flags free identifiers of guarded types inside root: uses
+// of variables declared outside [lo, hi] (struct fields excluded — only the
+// root binding of a selector chain is a capture).
+func reportCaptures(u *Unit, info *types.Info, root ast.Node, lo, hi token.Pos, how string, report func(token.Pos, string, ...interface{})) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= lo && obj.Pos() <= hi {
+			return true // bound inside the concurrent extent: point-private
+		}
+		name, bad := noshareType(obj.Type())
+		if !bad {
+			return true
+		}
+		report(id.Pos(),
+			"%s %q captured by a function %s: %s is not safe for concurrent use; construct it inside, or mark an audited capture //xmem:share-ok",
+			name, obj.Name(), how, name)
+		return true
+	})
+}
+
+// isRunnerRun matches a call to the sweep engine's Run function.
+func isRunnerRun(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Run" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "experiments/runner")
+}
+
+// isRunnerPoint matches a composite literal of runner.Point (any
+// instantiation).
+func isRunnerPoint(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, okP := t.(*types.Pointer); okP {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Point" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "experiments/runner")
+}

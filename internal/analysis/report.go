@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// VetSchema is the identifier of the machine-readable report format below.
+// Consumers (xmem-inspect -vet, CI trend tracking) check it before reading
+// anything else; it only changes when a field changes meaning.
+const VetSchema = "xmem-vet/v1"
+
+// VetReport is the stable JSON shape of one xmem-vet run.
+type VetReport struct {
+	// Schema is always VetSchema.
+	Schema string `json:"schema"`
+	// Module is the analyzed module's import path.
+	Module string `json:"module"`
+	// Analyzers lists every analyzer that ran, in execution order, whether
+	// or not it found anything — a zero-finding report still proves which
+	// checks were applied.
+	Analyzers []VetAnalyzer `json:"analyzers"`
+	// Findings are the diagnostics, sorted by file, line, column, analyzer.
+	// Empty (never null) when the run is clean.
+	Findings []VetFinding `json:"findings"`
+}
+
+// VetAnalyzer identifies one check that ran.
+type VetAnalyzer struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// VetFinding is one diagnostic, with the position split for consumers.
+type VetFinding struct {
+	Analyzer string `json:"analyzer"`
+	// File is relative to the module root when the source lies under it.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// NewVetReport assembles the JSON report for one run. root is the module
+// root directory used to relativize file paths; findings must already be
+// sorted (Run sorts them).
+func NewVetReport(module, root string, analyzers []*Analyzer, findings []Finding) VetReport {
+	r := VetReport{
+		Schema:    VetSchema,
+		Module:    module,
+		Analyzers: make([]VetAnalyzer, 0, len(analyzers)),
+		Findings:  make([]VetFinding, 0, len(findings)),
+	}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, VetAnalyzer{Name: a.Name, Doc: a.Doc})
+	}
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		r.Findings = append(r.Findings, VetFinding{
+			Analyzer: f.Analyzer,
+			File:     file,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Msg:      f.Message,
+		})
+	}
+	return r
+}
+
+// Write emits the report as indented JSON with a trailing newline.
+func (r VetReport) Write(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadVetReport parses and validates a report produced by Write.
+func ReadVetReport(data []byte) (VetReport, error) {
+	var r VetReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("analysis: parsing vet report: %w", err)
+	}
+	if r.Schema != VetSchema {
+		return r, fmt.Errorf("analysis: vet report schema %q, want %q", r.Schema, VetSchema)
+	}
+	if r.Module == "" {
+		return r, fmt.Errorf("analysis: vet report missing module")
+	}
+	if len(r.Analyzers) == 0 {
+		return r, fmt.Errorf("analysis: vet report lists no analyzers")
+	}
+	for i, f := range r.Findings {
+		if f.Analyzer == "" || f.File == "" || f.Line <= 0 {
+			return r, fmt.Errorf("analysis: vet report finding %d malformed (analyzer %q, file %q, line %d)",
+				i, f.Analyzer, f.File, f.Line)
+		}
+	}
+	return r, nil
+}

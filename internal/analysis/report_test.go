@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestVetReportRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{
+			Analyzer: "attrtruth",
+			Pos:      token.Position{Filename: "/mod/internal/workload/x.go", Line: 12, Column: 3},
+			Message:  "Store into atom declared ReadOnly",
+		},
+		{
+			Analyzer: "noshare",
+			Pos:      token.Position{Filename: "/elsewhere/y.go", Line: 4, Column: 1},
+			Message:  "captured by a go statement",
+		},
+	}
+	r := NewVetReport("xmem", "/mod", All(), findings)
+
+	if r.Schema != VetSchema {
+		t.Fatalf("schema %q, want %q", r.Schema, VetSchema)
+	}
+	if len(r.Analyzers) != len(All()) {
+		t.Fatalf("analyzers %d, want %d", len(r.Analyzers), len(All()))
+	}
+	if got := r.Findings[0].File; got != "internal/workload/x.go" {
+		t.Errorf("in-module path not relativized: %q", got)
+	}
+	if got := r.Findings[1].File; got != "/elsewhere/y.go" {
+		t.Errorf("out-of-module path mangled: %q", got)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVetReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != 2 || back.Findings[0].Msg != findings[0].Message {
+		t.Errorf("round trip lost findings: %+v", back.Findings)
+	}
+}
+
+func TestVetReportEmptyFindingsIsArray(t *testing.T) {
+	r := NewVetReport("xmem", "", All(), nil)
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(raw["findings"])) == "null" {
+		t.Error("clean report encodes findings as null, want []")
+	}
+	if _, err := ReadVetReport(buf.Bytes()); err != nil {
+		t.Errorf("clean report fails validation: %v", err)
+	}
+}
+
+func TestVetReportValidation(t *testing.T) {
+	bad := []string{
+		`{}`,
+		`{"schema":"xmem-vet/v0","module":"m","analyzers":[{"name":"a","doc":"d"}],"findings":[]}`,
+		`{"schema":"xmem-vet/v1","module":"","analyzers":[{"name":"a","doc":"d"}],"findings":[]}`,
+		`{"schema":"xmem-vet/v1","module":"m","analyzers":[],"findings":[]}`,
+		`{"schema":"xmem-vet/v1","module":"m","analyzers":[{"name":"a","doc":"d"}],"findings":[{"analyzer":"","file":"f","line":1,"col":1,"msg":"m"}]}`,
+	}
+	for _, s := range bad {
+		if _, err := ReadVetReport([]byte(s)); err == nil {
+			t.Errorf("malformed report accepted: %s", s)
+		}
+	}
+}
+
+func TestByNames(t *testing.T) {
+	sel, err := ByNames("noshare,attrtruth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "attrtruth" || sel[1].Name != "noshare" {
+		t.Errorf("selection wrong or unordered: %v", []string{sel[0].Name, sel[1].Name})
+	}
+	if _, err := ByNames("nosuch"); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("unknown analyzer not rejected: %v", err)
+	}
+	if _, err := ByNames(" , "); err == nil {
+		t.Error("empty selection not rejected")
+	}
+}

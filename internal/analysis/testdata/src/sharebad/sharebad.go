@@ -1,0 +1,59 @@
+// Package sharebad holds true positives for the noshare analyzer: every way
+// a single-owner simulator value can leak into concurrent execution.
+package sharebad
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/experiments/runner"
+	"xmem/internal/sim"
+)
+
+// leakedMachine is the package-level escape target.
+var leakedMachine *sim.Machine
+
+// goCapture starts a goroutine over a Machine it does not own.
+func goCapture(m *sim.Machine) {
+	go func() {
+		_ = m // want "captured by a function started by a go statement"
+	}()
+}
+
+// goCaptureLib leaks the XMemLib handle the same way.
+func goCaptureLib(lib *core.Lib) {
+	done := make(chan struct{})
+	go func() {
+		_ = lib // want "captured by a function"
+		close(done)
+	}()
+	<-done
+}
+
+// sweepCapture shares one Machine across concurrently-running sweep points.
+func sweepCapture(m *sim.Machine) error {
+	points := []runner.Point[int]{{
+		Key: "p0",
+		Run: func(c *runner.Ctx) (int, error) {
+			_ = m // want "not safe for concurrent use"
+			return 0, nil
+		},
+	}}
+	_, err := runner.Run("sharebad", points, runner.Options{Parallel: 1})
+	return err
+}
+
+// inlineCapture passes the leaking literal straight into runner.Run.
+func inlineCapture(m *sim.Machine) error {
+	_, err := runner.Run("sharebad-inline", []runner.Point[int]{{
+		Key: "k",
+		Run: func(c *runner.Ctx) (int, error) {
+			_ = m // want "not safe for concurrent use"
+			return 0, nil
+		},
+	}}, runner.Options{Parallel: 1})
+	return err
+}
+
+// storeGlobal parks a Machine where any goroutine can reach it.
+func storeGlobal(m *sim.Machine) {
+	leakedMachine = m // want "stored into package-level variable"
+}

@@ -1,0 +1,64 @@
+// Package sharegood holds clean negatives for the noshare analyzer:
+// point-private construction, ownership transfer through non-guarded
+// wrappers, and audited sharing suppressed with //xmem:share-ok.
+package sharegood
+
+import (
+	"xmem/internal/experiments/runner"
+	"xmem/internal/sim"
+	"xmem/internal/workload"
+)
+
+// pointPrivate builds the Machine inside the sweep point — the ownership
+// rule the analyzer enforces.
+func pointPrivate(cfg sim.Config, w workload.Workload) error {
+	points := []runner.Point[uint64]{{
+		Key: "p0",
+		Run: func(c *runner.Ctx) (uint64, error) {
+			r, err := sim.Run(cfg, w)
+			if err != nil {
+				return 0, err
+			}
+			return r.Cycles, nil
+		},
+	}}
+	_, err := runner.Run("sharegood", points, runner.Options{Parallel: 1})
+	return err
+}
+
+// task wraps a Machine; capturing the wrapper is the owner's business (the
+// multicore scheduler's token-passing protocol does exactly this), so only
+// the root identifier's type counts.
+type task struct {
+	m    *sim.Machine
+	done chan struct{}
+}
+
+// wrapperCapture captures the wrapper, not the Machine.
+func wrapperCapture(t *task) {
+	go func() {
+		_ = t.m
+		close(t.done)
+	}()
+}
+
+// auditedSameLine shares a Machine under a same-line audit marker.
+func auditedSameLine(m *sim.Machine) {
+	done := make(chan struct{})
+	go func() {
+		_ = m //xmem:share-ok audited: reader joins before owner resumes
+		close(done)
+	}()
+	<-done
+}
+
+// auditedLineAbove shares a Machine with the marker on the preceding line.
+func auditedLineAbove(m *sim.Machine) {
+	done := make(chan struct{})
+	go func() {
+		//xmem:share-ok audited: reader joins before owner resumes
+		_ = m
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,85 @@
+// Package truthbad holds true positives for the attrtruth analyzer: one
+// function per provable contradiction class between declared Attributes
+// and the access shape of the same body.
+package truthbad
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+	"xmem/internal/workload"
+)
+
+const elems = 64
+
+// storeReadOnly writes through an atom whose RW promise says it never will.
+func storeReadOnly(p workload.Program) {
+	id := p.Lib().CreateAtom("truthbad.ro", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadOnly,
+	})
+	base := p.Malloc("ro", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Store(0, base+mem.Addr(i*8)) // want "declared ReadOnly"
+	}
+}
+
+// loadWriteOnly is the dual: reading an atom declared write-only.
+func loadWriteOnly(p workload.Program) {
+	id := p.Lib().CreateAtom("truthbad.wo", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.WriteOnly,
+	})
+	base := p.Malloc("wo", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8)) // want "declared WriteOnly"
+	}
+}
+
+// strideMismatch declares an 8-byte stride but provably walks 256 bytes per
+// iteration — four lines of declared locality skipped for every line touched.
+func strideMismatch(p workload.Program) {
+	id := p.Lib().CreateAtom("truthbad.stride", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadWrite,
+	})
+	base := p.Malloc("stride", elems*256, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*256)) // want "constant access stride 256B contradicts"
+	}
+}
+
+// hashIndex declares PatternRegular but indexes through a modulo-mixed
+// hash of the induction variable — provably non-affine.
+func hashIndex(p workload.Program) {
+	id := p.Lib().CreateAtom("truthbad.hash", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadWrite,
+	})
+	base := p.Malloc("hash", elems*8, id)
+	for i := 0; i < elems; i++ {
+		b := (i * 31) % elems
+		p.Store(0, base+mem.Addr(b*8)) // want "provably non-affine function of loop variable"
+	}
+}
+
+// claimsIrregular declares PatternIrregular over a body whose every
+// resolvable access is plain unit-stride streaming.
+func claimsIrregular(p workload.Program) {
+	id := p.Lib().CreateAtom("truthbad.claimirr", core.Attributes{
+		Pattern: core.PatternIrregular, RW: core.ReadWrite,
+	})
+	base := p.Malloc("claimirr", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8)) // want "declares PatternIrregular, but every resolvable access"
+	}
+}
+
+// outOfRange touches offsets no byte of which the atom's Malloc ever
+// covered: once at a constant offset, once through a loop whose constant
+// bounds provably overrun the allocation.
+func outOfRange(p workload.Program) {
+	id := p.Lib().CreateAtom("truthbad.oob", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadWrite,
+	})
+	base := p.Malloc("oob", elems*8, id)
+	p.Load(0, base+mem.Addr(elems*8)) // want "outside the 512 bytes tagged to atom"
+	for i := 0; i < 2*elems; i++ {
+		p.Store(0, base+mem.Addr(i*8)) // want "reaches constant offset 1016, outside the 512 bytes"
+	}
+}

@@ -1,0 +1,108 @@
+// Package truthgood holds clean negatives for the attrtruth analyzer: the
+// mirror image of every truthbad contradiction, declared truthfully, plus
+// the helper-inlining idioms the real kernels use. No finding may fire.
+package truthgood
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+	"xmem/internal/workload"
+)
+
+const elems = 64
+
+// storeReadWrite declares the write it performs.
+func storeReadWrite(p workload.Program) {
+	id := p.Lib().CreateAtom("truthgood.rw", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadWrite,
+	})
+	base := p.Malloc("rw", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Store(0, base+mem.Addr(i*8))
+	}
+}
+
+// strideMatch declares the 256-byte stride it provably walks.
+func strideMatch(p workload.Program) {
+	id := p.Lib().CreateAtom("truthgood.stride", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 256, RW: core.ReadWrite,
+	})
+	base := p.Malloc("stride", elems*256, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*256))
+	}
+}
+
+// lineGranularity declares an 8-byte stride and walks 64 bytes per
+// iteration: both within one cache line, so to the memory system both mean
+// "touch every line in order" — no contradiction.
+func lineGranularity(p workload.Program) {
+	id := p.Lib().CreateAtom("truthgood.line", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadOnly,
+	})
+	base := p.Malloc("line", elems*64, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*64))
+	}
+}
+
+// hashDeclared declares the irregularity its hash-mixed index exhibits.
+func hashDeclared(p workload.Program) {
+	id := p.Lib().CreateAtom("truthgood.hash", core.Attributes{
+		Pattern: core.PatternIrregular, RW: core.ReadWrite,
+	})
+	base := p.Malloc("hash", elems*8, id)
+	for i := 0; i < elems; i++ {
+		b := (i * 31) % elems
+		p.Store(0, base+mem.Addr(b*8))
+	}
+}
+
+// addrOf is the matvec-style helper the evaluator must inline.
+func addrOf(i int) mem.Addr { return mem.Addr(i) * 8 }
+
+// helperAccess streams through an inlinable address helper.
+func helperAccess(p workload.Program) {
+	id := p.Lib().CreateAtom("truthgood.helper", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadOnly,
+	})
+	base := p.Malloc("helper", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+addrOf(i))
+	}
+}
+
+// grid is the polybench mat idiom: a struct literal binding a Malloc'd
+// base, accessed through a method the evaluator inlines with the receiver
+// bound to the literal.
+type grid struct {
+	base mem.Addr
+	n    int
+}
+
+func (g grid) at(i, j int) mem.Addr {
+	return g.base + mem.Addr((i*g.n+j)*8)
+}
+
+// tiledWalk touches one 64-byte line per inner step of a 2-D nest; the
+// declared line stride is exactly the provable inner stride.
+func tiledWalk(p workload.Program) {
+	id := p.Lib().CreateAtom("truthgood.tile", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 64, RW: core.ReadOnly,
+	})
+	g := grid{p.Malloc("tile", 32*32*8, id), 32}
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j += 8 {
+			p.Load(0, g.at(i, j))
+		}
+	}
+}
+
+// constOffset reads the last element the allocation covers — in range.
+func constOffset(p workload.Program) {
+	id := p.Lib().CreateAtom("truthgood.edge", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadOnly,
+	})
+	base := p.Malloc("edge", elems*8, id)
+	p.Load(0, base+mem.Addr((elems-1)*8))
+}

@@ -1,0 +1,78 @@
+// Package truthunknown holds cases the attrtruth analyzer must stay silent
+// on: shapes it cannot prove — data-dependent indices, non-inlinable
+// helpers, runtime-built attributes, unassociated bases. Silence here is
+// the analyzer's conservativeness contract; the runtime checkers own these.
+package truthunknown
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+	"xmem/internal/workload"
+)
+
+const elems = 64
+
+// pick is not inlinable (branching body): calls through it are unresolvable.
+func pick(i int) int {
+	if i > 3 {
+		return i * 7
+	}
+	return i
+}
+
+// opaqueHelper's access shape is unknown — even a declared-Regular atom
+// earns no finding from an unprovable index.
+func opaqueHelper(p workload.Program) {
+	id := p.Lib().CreateAtom("truthunknown.opaque", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadOnly,
+	})
+	base := p.Malloc("opaque", elems*8, id)
+	for i := 0; i < elems; i++ {
+		b := pick(i)
+		p.Load(0, base+mem.Addr(b*8))
+	}
+}
+
+// dataDependent indexes with values loaded from memory (the hash-join probe
+// shape): provably nothing, so no finding — and no regular-claimed-irregular
+// verdict either, because unresolvable accesses block that proof.
+func dataDependent(p workload.Program, idx []int) {
+	id := p.Lib().CreateAtom("truthunknown.dd", core.Attributes{
+		Pattern: core.PatternIrregular, RW: core.ReadOnly,
+	})
+	base := p.Malloc("dd", elems*8, id)
+	for _, j := range idx {
+		p.Load(0, base+mem.Addr(j*8))
+	}
+}
+
+// runtimeAttrs builds the declaration from a runtime value: the literal
+// does not fold, so the atom is not resolvable and every check skips it.
+func runtimeAttrs(p workload.Program, stride int64) {
+	id := p.Lib().CreateAtom("truthunknown.rt", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: stride, RW: core.ReadOnly,
+	})
+	base := p.Malloc("rt", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Store(0, base+mem.Addr(i*8))
+	}
+}
+
+// unknownBase walks an address that no Malloc in this body produced.
+func unknownBase(p workload.Program, base mem.Addr) {
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+	}
+}
+
+// symbolicBounds loops to a runtime limit: the stride is provable (and
+// truthful), the range is not — no range finding without constant bounds.
+func symbolicBounds(p workload.Program, n int) {
+	id := p.Lib().CreateAtom("truthunknown.sym", core.Attributes{
+		Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadOnly,
+	})
+	base := p.Malloc("sym", elems*8, id)
+	for i := 0; i < n; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+	}
+}
