@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet xmem-vet vet-json lint fmtcheck check \
-        bench race sweep-smoke metrics-smoke experiments experiments-paper \
-        examples clean
+.PHONY: all build test test-short vet xmem-vet vet-json infer-validate lint \
+        fmtcheck check bench race sweep-smoke metrics-smoke experiments \
+        experiments-paper examples clean
 
 all: build vet test
 
@@ -27,6 +27,14 @@ xmem-vet:
 vet-json:
 	$(GO) run ./cmd/xmem-vet -json ./... > results_vet.json; \
 		status=$$?; $(GO) run ./cmd/xmem-inspect -vet results_vet.json; exit $$status
+
+# Differential validation of the attrinfer pipeline: the committed tree
+# must be inference-clean and a fixer fixed point; re-applying the fixes to
+# the preserved pre-fix example in a scratch copy must reproduce the
+# committed file byte-for-byte, leave attrtruth silent, and the simulator
+# must confirm the inferred annotations help (see scripts/infer_validate.sh).
+infer-validate:
+	sh scripts/infer_validate.sh
 
 fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -92,6 +100,7 @@ examples:
 	$(GO) run ./examples/dramplacement
 	$(GO) run ./examples/hashjoin
 	$(GO) run ./examples/tiling
+	$(GO) run ./examples/inferdemo -check
 
 clean:
 	$(GO) clean ./...

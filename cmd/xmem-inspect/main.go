@@ -80,9 +80,11 @@ func validateMetrics(path string) {
 		path, r.Schema, r.Workload, len(r.Counters), len(r.Samples), len(r.PerAtom), r.EpochCycles)
 }
 
-// summarizeVet validates an xmem-vet/v1 report and prints the per-analyzer
-// finding counts — zero-finding analyzers included, so the summary proves
-// which checks ran.
+// summarizeVet validates an xmem-vet report (v2, or legacy v1) and prints
+// the per-analyzer finding counts — zero-finding analyzers included, so
+// the summary proves which checks ran. v2 findings that carry suggested
+// fixes are marked, with the total edit count, so CI logs show how much of
+// the report `xmem-vet -fix` would resolve.
 func summarizeVet(path string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -92,8 +94,17 @@ func summarizeVet(path string) {
 	if err != nil {
 		fail(fmt.Errorf("%s: %w", path, err))
 	}
-	fmt.Printf("%s: valid %s (module %s, %d analyzers, %d findings)\n",
-		path, r.Schema, r.Module, len(r.Analyzers), len(r.Findings))
+	fixable, edits := 0, 0
+	for _, f := range r.Findings {
+		if len(f.SuggestedFixes) > 0 {
+			fixable++
+			for _, fix := range f.SuggestedFixes {
+				edits += len(fix.Edits)
+			}
+		}
+	}
+	fmt.Printf("%s: valid %s (module %s, %d analyzers, %d findings, %d fixable with %d edits)\n",
+		path, r.Schema, r.Module, len(r.Analyzers), len(r.Findings), fixable, edits)
 	counts := make(map[string]int, len(r.Analyzers))
 	for _, f := range r.Findings {
 		counts[f.Analyzer]++
@@ -102,7 +113,11 @@ func summarizeVet(path string) {
 		fmt.Printf("  %-14s %3d finding(s)  %s\n", a.Name, counts[a.Name], a.Doc)
 	}
 	for _, f := range r.Findings {
-		fmt.Printf("  %s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Msg)
+		mark := ""
+		if len(f.SuggestedFixes) > 0 {
+			mark = " [fix available]"
+		}
+		fmt.Printf("  %s:%d:%d: %s: %s%s\n", f.File, f.Line, f.Col, f.Analyzer, f.Msg, mark)
 	}
 }
 

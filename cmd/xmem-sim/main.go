@@ -35,19 +35,20 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "gemm", "kernel or synthetic workload name (list: -list)")
-		list   = flag.Bool("list", false, "list available workloads and exit")
-		n      = flag.Int("n", 256, "kernel matrix dimension")
-		tile   = flag.Uint64("tile", 128<<10, "kernel tile size in bytes")
-		steps  = flag.Int("steps", 6, "stencil time steps per tile")
-		scale  = flag.Float64("scale", 0.3, "synthetic workload scale factor")
-		l3     = flag.Uint64("l3", 256<<10, "L3 capacity in bytes")
-		system = flag.String("system", "baseline", "baseline, xmem, or xmem-pref")
-		alloc  = flag.String("alloc", "sequential", "frame allocator: sequential, random, xmem")
-		scheme = flag.String("scheme", "ro:ra:ba:co:ch", "DRAM address mapping scheme")
-		ideal  = flag.Bool("ideal-rbl", false, "perfect row-buffer locality")
-		check  = flag.Bool("check", false, "audit XMem metadata invariants after every op (panics on structural divergence, reports lifecycle misuse)")
-		bwCore = flag.Float64("bw", 2.1e9, "per-core DRAM bandwidth in bytes/s (0 = full channel bandwidth)")
+		name       = flag.String("workload", "gemm", "kernel or synthetic workload name (list: -list)")
+		list       = flag.Bool("list", false, "list available workloads and exit")
+		n          = flag.Int("n", 256, "kernel matrix dimension")
+		tile       = flag.Uint64("tile", 128<<10, "kernel tile size in bytes")
+		steps      = flag.Int("steps", 6, "stencil time steps per tile")
+		scale      = flag.Float64("scale", 0.3, "synthetic workload scale factor")
+		l3         = flag.Uint64("l3", 256<<10, "L3 capacity in bytes")
+		system     = flag.String("system", "baseline", "baseline, xmem, or xmem-pref")
+		alloc      = flag.String("alloc", "sequential", "frame allocator: sequential, random, xmem")
+		scheme     = flag.String("scheme", "ro:ra:ba:co:ch", "DRAM address mapping scheme")
+		ideal      = flag.Bool("ideal-rbl", false, "perfect row-buffer locality")
+		check      = flag.Bool("check", false, "audit XMem metadata invariants after every op (panics on structural divergence, reports lifecycle misuse)")
+		inferSmoke = flag.Bool("infer-smoke", false, "run each workload twice (attributes stripped vs declared) and fail if declaring them made the memory system worse (L3 hit rate down AND cycles up)")
+		bwCore     = flag.Float64("bw", 2.1e9, "per-core DRAM bandwidth in bytes/s (0 = full channel bandwidth)")
 
 		metricsOut = flag.String("metrics", "", "write epoch-sampled metrics to this file (.csv, .trace.json/.chrome.json, or schema-v1 .json)")
 		epoch      = flag.Uint64("epoch", 0, "metrics sampling epoch in core cycles (0 = 100k default)")
@@ -93,6 +94,37 @@ func main() {
 	}
 
 	names := strings.Split(*name, ",")
+
+	if *inferSmoke {
+		// Differential validation for inferred annotations (attrinfer):
+		// the declared attributes must not mis-steer the XMem policies, so
+		// force them on — stripped vs declared is only meaningful when the
+		// machine actually consumes the attributes.
+		failed := false
+		for _, wname := range names {
+			w, err := resolveWorkload(wname, *n, *tile, *steps, *scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xmem-sim: %v\n", err)
+				os.Exit(2)
+			}
+			cfg := baseConfig()
+			cfg.XMemCache = true
+			cfg.Alloc = sim.AllocXMemPlacement
+			r, err := sim.InferSmoke(cfg, w)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xmem-sim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(r)
+			failed = failed || !r.Pass()
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "xmem-sim: infer smoke FAILED: declaring attributes made the memory system worse")
+			os.Exit(1)
+		}
+		return
+	}
+
 	if len(names) > 1 {
 		if *resume && *checkpoint == "" {
 			fmt.Fprintln(os.Stderr, "xmem-sim: -resume requires -checkpoint")

@@ -6,15 +6,19 @@
 //
 // Usage:
 //
-//	xmem-vet [-run analyzer[,analyzer]] [-json] [-list] [packages]
+//	xmem-vet [-run analyzer[,analyzer]] [-json] [-fix] [-fix-dry] [-list] [packages]
 //
 // Package patterns are module-relative: "./..." (everything), "dir/..."
 // (a subtree), or an exact directory ("examples/matvec"). With no
 // arguments the whole module is checked. -run restricts the run to the
 // named analyzers; -list prints every registered analyzer with its
-// one-line doc and exits; -json emits findings as the stable xmem-vet/v1
-// schema (consumable by xmem-inspect -vet) instead of text. The exit
-// status is 1 when findings are reported, 2 when the module cannot be
+// one-line doc and exits; -json emits findings as the stable xmem-vet/v2
+// schema (consumable by xmem-inspect -vet) instead of text. -fix applies
+// every machine-applicable suggested fix (attrinfer) in place; -fix-dry
+// previews the same edits as a diff without writing anything — empty
+// output means a second application would change nothing (idempotency).
+// The exit status is 1 when findings are reported (for -fix/-fix-dry:
+// when findings remain that no fix resolves), 2 when the module cannot be
 // loaded or a flag is invalid.
 package main
 
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"xmem/internal/analysis"
@@ -30,17 +35,26 @@ import (
 
 func main() {
 	var (
-		runFlag  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		jsonFlag = flag.Bool("json", false, "emit findings as xmem-vet/v1 JSON on stdout")
-		listFlag = flag.Bool("list", false, "list registered analyzers and exit")
+		runFlag    = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		jsonFlag   = flag.Bool("json", false, "emit findings as xmem-vet/v2 JSON on stdout")
+		fixFlag    = flag.Bool("fix", false, "apply machine-applicable suggested fixes in place")
+		fixDryFlag = flag.Bool("fix-dry", false, "print the suggested-fix diff without writing files")
+		listFlag   = flag.Bool("list", false, "list registered analyzers and exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xmem-vet [-run analyzer[,analyzer]] [-json] [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: xmem-vet [-run analyzer[,analyzer]] [-json] [-fix] [-fix-dry] [-list] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
+
+	if *fixFlag && *fixDryFlag {
+		fatal(fmt.Errorf("-fix and -fix-dry are mutually exclusive"))
+	}
+	if (*fixFlag || *fixDryFlag) && *jsonFlag {
+		fatal(fmt.Errorf("-json cannot be combined with -fix/-fix-dry"))
+	}
 
 	if *listFlag {
 		for _, a := range analysis.All() {
@@ -80,6 +94,42 @@ func main() {
 	}
 
 	findings := analysis.Run(loader.Fset, pkgs, analyzers)
+
+	if *fixFlag || *fixDryFlag {
+		plan, err := analysis.PlanFixes(findings)
+		if err != nil {
+			fatal(err)
+		}
+		if *fixDryFlag {
+			display := func(file string) string {
+				if rel, relErr := filepath.Rel(root, file); relErr == nil && !strings.HasPrefix(rel, "..") {
+					return filepath.ToSlash(rel)
+				}
+				return file
+			}
+			fmt.Print(plan.DiffFixes(display))
+		} else {
+			if err := plan.WriteFixes(); err != nil {
+				fatal(err)
+			}
+			files := make([]string, 0, len(plan.Files))
+			for file := range plan.Files {
+				files = append(files, file)
+			}
+			sort.Strings(files)
+			for _, file := range files {
+				if rel, relErr := filepath.Rel(root, file); relErr == nil {
+					fmt.Printf("fixed %s\n", filepath.ToSlash(rel))
+				}
+			}
+		}
+		if plan.Unfixable > 0 {
+			fmt.Fprintf(os.Stderr, "xmem-vet: %d finding(s) without a suggested fix remain\n", plan.Unfixable)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonFlag {
 		report := analysis.NewVetReport(loader.ModulePath(), root, analyzers, findings)
 		if err := report.Write(os.Stdout); err != nil {

@@ -44,9 +44,11 @@ func main() {
 	unannotated := workload.Workload{
 		Name: "legacy-app",
 		Run: func(p workload.Program) {
-			hot := p.Malloc("hotArray", 4<<20, core.InvalidAtom)
-			idx := p.Malloc("indexHeap", 2<<20, core.InvalidAtom)
-			cold := p.Malloc("coldLog", 1<<20, core.InvalidAtom)
+			// Deliberately untagged (xmem:noinfer): this example exercises
+			// the *dynamic* profiling channel, not static inference.
+			hot := p.Malloc("hotArray", 4<<20, core.InvalidAtom)  //xmem:noinfer
+			idx := p.Malloc("indexHeap", 2<<20, core.InvalidAtom) //xmem:noinfer
+			cold := p.Malloc("coldLog", 1<<20, core.InvalidAtom)  //xmem:noinfer
 			state := uint64(7)
 			for i := 0; i < 120000; i++ {
 				p.Load(1, hot+mem.Addr(i%(4<<14))*64) // sequential sweep

@@ -28,6 +28,32 @@ type Finding struct {
 	Pos token.Position
 	// Message describes the misuse.
 	Message string
+	// SuggestedFixes are machine-applicable edits resolving the finding.
+	// Most analyzers prove a violation without knowing the repair and leave
+	// this nil; attrinfer only reports when it can also construct the fix.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one machine-applicable repair for a finding. Applying
+// every edit (they never overlap within one fix) resolves the finding.
+type SuggestedFix struct {
+	// Message describes the repair in one line.
+	Message string
+	// Edits are the byte-offset text replacements, possibly across files
+	// (an attribute strengthened at several CreateAtom calls of the same
+	// site must change everywhere at once to keep attrconflict quiet).
+	Edits []TextEdit
+}
+
+// TextEdit replaces the bytes [Start, End) of File with NewText.
+// Start == End is a pure insertion.
+type TextEdit struct {
+	// File is the absolute path of the file to edit.
+	File string
+	// Start and End are byte offsets into the file's current content.
+	Start, End int
+	// NewText is the replacement text.
+	NewText string
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -59,16 +85,21 @@ type Unit struct {
 
 // Reportf records a finding at pos.
 func (u *Unit) Reportf(pos token.Pos, format string, args ...interface{}) {
-	*u.findings = append(*u.findings, Finding{
-		Analyzer: u.analyzer,
-		Pos:      u.Fset.Position(pos),
-		Message:  fmt.Sprintf(format, args...),
+	u.Report(Finding{
+		Pos:     u.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// Report records a fully-built finding (the analyzer name is stamped here).
+func (u *Unit) Report(f Finding) {
+	f.Analyzer = u.analyzer
+	*u.findings = append(*u.findings, f)
 }
 
 // All returns the xmem-vet analyzers, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomLifecycle, AttrConflict, AttrTruth, DimCheck, NoShare, SealedLib}
+	return []*Analyzer{AtomLifecycle, AttrConflict, AttrInfer, AttrTruth, DimCheck, NoShare, SealedLib}
 }
 
 // ByNames resolves a comma-separated analyzer selection against All(),
@@ -109,26 +140,14 @@ func ByNames(names string) ([]*Analyzer, error) {
 }
 
 // Run executes the analyzers over the packages and returns the findings
-// sorted by position.
+// sorted by position (SortFindings).
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	for _, a := range analyzers {
 		u := &Unit{Fset: fset, Packages: pkgs, analyzer: a.Name, findings: &findings}
 		a.Run(u)
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	SortFindings(findings)
 	return findings
 }
 

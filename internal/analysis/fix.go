@@ -1,0 +1,165 @@
+package analysis
+
+// Applying suggested fixes. The edits carried by findings are byte-offset
+// replacements against the file contents the analysis ran on; this file
+// turns a finding set into new file contents (for -fix) and a readable
+// preview (for -fix-dry) without re-reading the sources from disk a second
+// time mid-application, so a fix set is applied atomically or not at all.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FixResult is the outcome of planning a fix application.
+type FixResult struct {
+	// Files maps each edited file (absolute path) to its new content.
+	Files map[string][]byte
+	// Fixed counts the findings whose fixes were applied.
+	Fixed int
+	// Unfixable counts the findings that carry no suggested fix; they
+	// remain after application and keep the exit status non-zero.
+	Unfixable int
+}
+
+// PlanFixes collects the first suggested fix of every finding and computes
+// the resulting file contents. It fails when two edits overlap (two
+// findings disagreeing about the same bytes means the fixes were not
+// independent; nothing is applied) or when a file cannot be read.
+func PlanFixes(findings []Finding) (*FixResult, error) {
+	res := &FixResult{Files: make(map[string][]byte)}
+	type edit struct {
+		TextEdit
+		finding string
+	}
+	perFile := make(map[string][]edit)
+	for _, f := range findings {
+		if len(f.SuggestedFixes) == 0 {
+			res.Unfixable++
+			continue
+		}
+		res.Fixed++
+		fix := f.SuggestedFixes[0]
+		for _, e := range fix.Edits {
+			perFile[e.File] = append(perFile[e.File], edit{e, f.String()})
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for file := range perFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := perFile[file]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		// Drop exact duplicates (two findings proposing the identical edit),
+		// then reject any remaining overlap.
+		dedup := edits[:1]
+		for _, e := range edits[1:] {
+			last := dedup[len(dedup)-1]
+			if e.TextEdit == last.TextEdit {
+				continue
+			}
+			if e.Start < last.End || (e.Start == last.Start && e.End == last.End) {
+				return nil, fmt.Errorf("analysis: conflicting fixes in %s at bytes [%d,%d) and [%d,%d) (%s vs %s)",
+					file, last.Start, last.End, e.Start, e.End, last.finding, e.finding)
+			}
+			dedup = append(dedup, e)
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		var out []byte
+		prev := 0
+		for _, e := range dedup {
+			if e.End > len(src) {
+				return nil, fmt.Errorf("analysis: fix edit [%d,%d) past end of %s (%d bytes)", e.Start, e.End, file, len(src))
+			}
+			out = append(out, src[prev:e.Start]...)
+			out = append(out, e.NewText...)
+			prev = e.End
+		}
+		out = append(out, src[prev:]...)
+		res.Files[file] = out
+	}
+	return res, nil
+}
+
+// WriteFixes writes the planned contents back to their files.
+func (r *FixResult) WriteFixes() error {
+	files := make([]string, 0, len(r.Files))
+	for file := range r.Files {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		info, err := os.Stat(file)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode().Perm()
+		}
+		if err := os.WriteFile(file, r.Files[file], mode); err != nil {
+			return fmt.Errorf("analysis: writing fixes: %w", err)
+		}
+	}
+	return nil
+}
+
+// DiffFixes renders a unified-style preview of the planned changes: one
+// hunk per file covering the changed line span. Files are emitted in
+// sorted order; the empty string means nothing would change.
+func (r *FixResult) DiffFixes(display func(string) string) string {
+	if display == nil {
+		display = func(s string) string { return s }
+	}
+	files := make([]string, 0, len(r.Files))
+	for file := range r.Files {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	var b strings.Builder
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		oldLines := strings.SplitAfter(string(src), "\n")
+		newLines := strings.SplitAfter(string(r.Files[file]), "\n")
+		pre := 0
+		for pre < len(oldLines) && pre < len(newLines) && oldLines[pre] == newLines[pre] {
+			pre++
+		}
+		oldRest, newRest := len(oldLines)-pre, len(newLines)-pre
+		suf := 0
+		for suf < oldRest && suf < newRest && oldLines[len(oldLines)-1-suf] == newLines[len(newLines)-1-suf] {
+			suf++
+		}
+		if oldRest == 0 && newRest == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "--- %s\n+++ %s\n", display(file), display(file))
+		fmt.Fprintf(&b, "@@ -%d,%d +%d,%d @@\n", pre+1, oldRest-suf, pre+1, newRest-suf)
+		for _, l := range oldLines[pre : len(oldLines)-suf] {
+			fmt.Fprintf(&b, "-%s", ensureNL(l))
+		}
+		for _, l := range newLines[pre : len(newLines)-suf] {
+			fmt.Fprintf(&b, "+%s", ensureNL(l))
+		}
+	}
+	return b.String()
+}
+
+func ensureNL(s string) string {
+	if strings.HasSuffix(s, "\n") {
+		return s
+	}
+	return s + "\n"
+}

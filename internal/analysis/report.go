@@ -5,13 +5,20 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
 // VetSchema is the identifier of the machine-readable report format below.
 // Consumers (xmem-inspect -vet, CI trend tracking) check it before reading
-// anything else; it only changes when a field changes meaning.
-const VetSchema = "xmem-vet/v1"
+// anything else; it only changes when a field changes meaning. v2 adds the
+// optional suggested_fixes array to findings — a pure extension, so v1
+// reports (VetSchemaV1) still validate on read.
+const VetSchema = "xmem-vet/v2"
+
+// VetSchemaV1 is the previous schema identifier, still accepted by
+// ReadVetReport: v1 reports are exactly v2 reports with no fixes.
+const VetSchemaV1 = "xmem-vet/v1"
 
 // VetReport is the stable JSON shape of one xmem-vet run.
 type VetReport struct {
@@ -42,6 +49,46 @@ type VetFinding struct {
 	Line int    `json:"line"`
 	Col  int    `json:"col"`
 	Msg  string `json:"msg"`
+	// SuggestedFixes are machine-applicable repairs (v2; omitted when the
+	// analyzer proved the violation but not the remedy).
+	SuggestedFixes []VetFix `json:"suggested_fixes,omitempty"`
+}
+
+// VetFix is one machine-applicable repair.
+type VetFix struct {
+	Msg   string    `json:"msg"`
+	Edits []VetEdit `json:"edits"`
+}
+
+// VetEdit replaces the bytes [start, end) of the file with new_text.
+type VetEdit struct {
+	// File is relative to the module root when the source lies under it.
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// SortFindings orders findings by (file, line, column, analyzer, message)
+// so printed and JSON-encoded output is deterministic across runs — CI
+// diffs and golden tests depend on it.
+func SortFindings(findings []Finding) {
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 }
 
 // NewVetReport assembles the JSON report for one run. root is the module
@@ -57,20 +104,35 @@ func NewVetReport(module, root string, analyzers []*Analyzer, findings []Finding
 	for _, a := range analyzers {
 		r.Analyzers = append(r.Analyzers, VetAnalyzer{Name: a.Name, Doc: a.Doc})
 	}
-	for _, f := range findings {
-		file := f.Pos.Filename
+	relativize := func(file string) string {
 		if root != "" {
 			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = filepath.ToSlash(rel)
+				return filepath.ToSlash(rel)
 			}
 		}
-		r.Findings = append(r.Findings, VetFinding{
+		return file
+	}
+	for _, f := range findings {
+		vf := VetFinding{
 			Analyzer: f.Analyzer,
-			File:     file,
+			File:     relativize(f.Pos.Filename),
 			Line:     f.Pos.Line,
 			Col:      f.Pos.Column,
 			Msg:      f.Message,
-		})
+		}
+		for _, fix := range f.SuggestedFixes {
+			vfix := VetFix{Msg: fix.Message, Edits: make([]VetEdit, 0, len(fix.Edits))}
+			for _, e := range fix.Edits {
+				vfix.Edits = append(vfix.Edits, VetEdit{
+					File:    relativize(e.File),
+					Start:   e.Start,
+					End:     e.End,
+					NewText: e.NewText,
+				})
+			}
+			vf.SuggestedFixes = append(vf.SuggestedFixes, vfix)
+		}
+		r.Findings = append(r.Findings, vf)
 	}
 	return r
 }
@@ -86,14 +148,16 @@ func (r VetReport) Write(w io.Writer) error {
 	return err
 }
 
-// ReadVetReport parses and validates a report produced by Write.
+// ReadVetReport parses and validates a report produced by Write. Both the
+// current schema (v2) and its predecessor (v1, no suggested_fixes) are
+// accepted; anything else is rejected before the fields are trusted.
 func ReadVetReport(data []byte) (VetReport, error) {
 	var r VetReport
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("analysis: parsing vet report: %w", err)
 	}
-	if r.Schema != VetSchema {
-		return r, fmt.Errorf("analysis: vet report schema %q, want %q", r.Schema, VetSchema)
+	if r.Schema != VetSchema && r.Schema != VetSchemaV1 {
+		return r, fmt.Errorf("analysis: vet report schema %q, want %q (or legacy %q)", r.Schema, VetSchema, VetSchemaV1)
 	}
 	if r.Module == "" {
 		return r, fmt.Errorf("analysis: vet report missing module")
@@ -105,6 +169,20 @@ func ReadVetReport(data []byte) (VetReport, error) {
 		if f.Analyzer == "" || f.File == "" || f.Line <= 0 {
 			return r, fmt.Errorf("analysis: vet report finding %d malformed (analyzer %q, file %q, line %d)",
 				i, f.Analyzer, f.File, f.Line)
+		}
+		if r.Schema == VetSchemaV1 && len(f.SuggestedFixes) > 0 {
+			return r, fmt.Errorf("analysis: vet report finding %d carries suggested_fixes under schema %q", i, VetSchemaV1)
+		}
+		for j, fix := range f.SuggestedFixes {
+			if len(fix.Edits) == 0 {
+				return r, fmt.Errorf("analysis: vet report finding %d fix %d has no edits", i, j)
+			}
+			for k, e := range fix.Edits {
+				if e.File == "" || e.Start < 0 || e.End < e.Start {
+					return r, fmt.Errorf("analysis: vet report finding %d fix %d edit %d malformed (file %q, start %d, end %d)",
+						i, j, k, e.File, e.Start, e.End)
+				}
+			}
 		}
 	}
 	return r, nil

@@ -82,6 +82,108 @@ func TestVetReportValidation(t *testing.T) {
 	}
 }
 
+// TestVetReportFixRoundTrip proves a v2 report carrying suggested fixes
+// survives Write/ReadVetReport with edit paths relativized and byte
+// offsets intact.
+func TestVetReportFixRoundTrip(t *testing.T) {
+	f := Finding{
+		Analyzer: "attrinfer",
+		Pos:      token.Position{Filename: "/mod/pkg/a.go", Line: 4, Column: 2},
+		Message:  "weaker than proven",
+		SuggestedFixes: []SuggestedFix{{
+			Message: "declare Pattern",
+			Edits:   []TextEdit{{File: "/mod/pkg/a.go", Start: 10, End: 20, NewText: "core.Attributes{}"}},
+		}},
+	}
+	r := NewVetReport("xmem", "/mod", []*Analyzer{AttrInfer}, []Finding{f})
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVetReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != 1 || len(back.Findings[0].SuggestedFixes) != 1 {
+		t.Fatalf("round trip lost fixes: %+v", back.Findings)
+	}
+	e := back.Findings[0].SuggestedFixes[0].Edits[0]
+	if e.File != "pkg/a.go" || e.Start != 10 || e.End != 20 || e.NewText != "core.Attributes{}" {
+		t.Errorf("edit round-tripped as %+v", e)
+	}
+}
+
+// TestVetReportV1Compat: legacy v1 reports (no fixes) must still validate;
+// a v1 report smuggling suggested_fixes and malformed v2 edits must not.
+func TestVetReportV1Compat(t *testing.T) {
+	v1 := `{
+  "schema": "xmem-vet/v1",
+  "module": "xmem",
+  "analyzers": [{"name": "attrtruth", "doc": "d"}],
+  "findings": [{"analyzer": "attrtruth", "file": "a.go", "line": 3, "col": 1, "msg": "m"}]
+}`
+	if _, err := ReadVetReport([]byte(v1)); err != nil {
+		t.Errorf("legacy v1 report rejected: %v", err)
+	}
+	v1fixes := strings.Replace(v1, `"msg": "m"`,
+		`"msg": "m", "suggested_fixes": [{"msg": "f", "edits": [{"file": "a.go", "start": 0, "end": 1, "new_text": "x"}]}]`, 1)
+	if _, err := ReadVetReport([]byte(v1fixes)); err == nil {
+		t.Error("v1 report with suggested_fixes accepted, want rejection")
+	}
+
+	mkV2 := func(edits string) string {
+		return `{
+  "schema": "xmem-vet/v2",
+  "module": "xmem",
+  "analyzers": [{"name": "attrinfer", "doc": "d"}],
+  "findings": [{"analyzer": "attrinfer", "file": "a.go", "line": 3, "col": 1, "msg": "m",
+    "suggested_fixes": [{"msg": "f", "edits": ` + edits + `}]}]
+}`
+	}
+	if _, err := ReadVetReport([]byte(mkV2(`[]`))); err == nil {
+		t.Error("fix with no edits accepted")
+	}
+	if _, err := ReadVetReport([]byte(mkV2(`[{"file": "", "start": 0, "end": 1, "new_text": "x"}]`))); err == nil {
+		t.Error("edit with empty file accepted")
+	}
+	if _, err := ReadVetReport([]byte(mkV2(`[{"file": "a.go", "start": 5, "end": 2, "new_text": "x"}]`))); err == nil {
+		t.Error("edit with end < start accepted")
+	}
+	if _, err := ReadVetReport([]byte(mkV2(`[{"file": "a.go", "start": 0, "end": 1, "new_text": "x"}]`))); err != nil {
+		t.Errorf("well-formed v2 edit rejected: %v", err)
+	}
+}
+
+// TestSortFindings pins the deterministic finding order every consumer
+// (text output, JSON reports, golden tests) depends on.
+func TestSortFindings(t *testing.T) {
+	mk := func(file string, line, col int, analyzer, msg string) Finding {
+		return Finding{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Message:  msg,
+		}
+	}
+	findings := []Finding{
+		mk("b.go", 3, 1, "noshare", "z"),
+		mk("a.go", 9, 1, "attrtruth", "y"),
+		mk("a.go", 2, 5, "dimcheck", "x"),
+		mk("a.go", 2, 5, "attrinfer", "w"),
+		mk("a.go", 2, 1, "dimcheck", "v"),
+	}
+	SortFindings(findings)
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Pos.Filename+":"+f.Analyzer)
+	}
+	want := []string{"a.go:dimcheck", "a.go:attrinfer", "a.go:dimcheck", "a.go:attrtruth", "b.go:noshare"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
 func TestByNames(t *testing.T) {
 	sel, err := ByNames("noshare,attrtruth")
 	if err != nil {

@@ -1,0 +1,76 @@
+// Package inferbad holds true positives for the attrinfer analyzer: one
+// function per inference class where the provable access summary is
+// strictly stronger than the declaration (or there is no atom at all) and
+// a machine-applicable fix exists. inferbad.go.golden is the same file
+// after `xmem-vet -fix`: the fix-application test asserts byte equality.
+package inferbad
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+	"xmem/internal/workload"
+)
+
+const elems = 64
+
+// noAtomStream allocates without any atom; every access is affine
+// unit-element stride and read-only, so the fix creates the atom inline.
+func noAtomStream(p workload.Program) {
+	base := p.Malloc("stream", elems*8, core.InvalidAtom) // want "Malloc carries no atom"
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+	}
+}
+
+// patternMissing declares only Intensity; the loads prove PatternRegular
+// with an 8-byte stride and a pure read mix.
+func patternMissing(p workload.Program) {
+	id := p.Lib().CreateAtom("inferbad.pattern", core.Attributes{Intensity: 90}) // want "declares weaker semantics"
+	base := p.Malloc("pattern", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+	}
+}
+
+// strideMissing declares PatternRegular but leaves StrideBytes zero; the
+// body proves a constant 128-byte stride.
+func strideMissing(p workload.Program) {
+	id := p.Lib().CreateAtom("inferbad.stride", core.Attributes{Pattern: core.PatternRegular, RW: core.ReadWrite}) // want "StrideBytes 0"
+	base := p.Malloc("stride", elems*128, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*128))
+		p.Store(0, base+mem.Addr(i*128))
+	}
+}
+
+// rwMissing declares the pattern but not the read/write mix; the body only
+// ever stores.
+func rwMissing(p workload.Program) {
+	id := p.Lib().CreateAtom("inferbad.rw", core.Attributes{Pattern: core.PatternRegular, StrideBytes: 8}) // want "no load anywhere"
+	base := p.Malloc("rw", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Store(0, base+mem.Addr(i*8))
+	}
+}
+
+// irregularMissing declares nothing about the pattern while every access
+// indexes through a modulo-mixed hash — provably non-affine.
+func irregularMissing(p workload.Program) {
+	id := p.Lib().CreateAtom("inferbad.irr", core.Attributes{Intensity: 40}) // want "provably non-affine"
+	base := p.Malloc("irr", elems*8, id)
+	for i := 0; i < elems; i++ {
+		b := (i * 31) % elems
+		p.Load(0, base+mem.Addr(b*8))
+	}
+}
+
+// readWriteMix declares no RW while the body both loads and stores; the
+// weakest correct claim (ReadWrite) is still stronger than RWNone.
+func readWriteMix(p workload.Program) {
+	id := p.Lib().CreateAtom("inferbad.mix", core.Attributes{Pattern: core.PatternRegular, StrideBytes: 8}) // want "ReadWrite"
+	base := p.Malloc("mix", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+		p.Store(0, base+mem.Addr(i*8))
+	}
+}

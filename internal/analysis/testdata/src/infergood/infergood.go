@@ -1,0 +1,53 @@
+// Package infergood mirrors the inferbad cases with declarations that are
+// already at least as strong as what the accesses prove: attrinfer must
+// stay silent on every function here.
+package infergood
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+	"xmem/internal/workload"
+)
+
+const elems = 64
+
+// fullStream declares exactly what the loads prove: regular, 8-byte
+// stride, read-only. Nothing left to infer.
+func fullStream(p workload.Program) {
+	id := p.Lib().CreateAtom("infergood.stream", core.Attributes{Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadOnly})
+	base := p.Malloc("stream", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+	}
+}
+
+// fullIrregular declares the hash walk irregular and read-write up front.
+func fullIrregular(p workload.Program) {
+	id := p.Lib().CreateAtom("infergood.irr", core.Attributes{Pattern: core.PatternIrregular, RW: core.ReadWrite})
+	base := p.Malloc("irr", elems*8, id)
+	for i := 0; i < elems; i++ {
+		b := (i * 31) % elems
+		p.Load(0, base+mem.Addr(b*8))
+		p.Store(0, base+mem.Addr(b*8))
+	}
+}
+
+// declaredStronger declares ReadWrite while the body only loads: the
+// declaration is broader than the evidence, and attrinfer never narrows a
+// declaration — only absence (RWNone) is filled in.
+func declaredStronger(p workload.Program) {
+	id := p.Lib().CreateAtom("infergood.broad", core.Attributes{Pattern: core.PatternRegular, StrideBytes: 8, RW: core.ReadWrite})
+	base := p.Malloc("broad", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+	}
+}
+
+// fullWriter declares the store-only stream write-only.
+func fullWriter(p workload.Program) {
+	id := p.Lib().CreateAtom("infergood.writer", core.Attributes{Pattern: core.PatternRegular, StrideBytes: 8, RW: core.WriteOnly})
+	base := p.Malloc("writer", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Store(0, base+mem.Addr(i*8))
+	}
+}

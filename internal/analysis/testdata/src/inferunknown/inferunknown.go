@@ -1,0 +1,112 @@
+// Package inferunknown holds the cases attrinfer must stay SILENT on even
+// though the declarations look weak: the inference is not provable, or no
+// machine-applicable fix can be constructed. attrinfer's contract is that
+// every finding carries an applicable fix, so all of these produce none.
+package inferunknown
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+	"xmem/internal/workload"
+)
+
+const elems = 64
+
+// siteName defeats the constant-site requirement: the runtime keys atoms
+// by site string, so a non-constant site cannot be matched to a fix.
+func siteName() string { return "inferunknown.dynamic" }
+
+// scramble is not inlinable by the evaluator (it loops), so indices routed
+// through it are unresolvable ("murk") — pattern claims are suppressed.
+func scramble(i int) int {
+	s := i
+	for j := 0; j < 3; j++ {
+		s = s*31 + j
+	}
+	return s
+}
+
+// weakAttrs is shared by two sites: rewriting the variable would edit both
+// sites at once, so attrinfer never auto-edits declarations routed through
+// a package-level variable.
+var weakAttrs = core.Attributes{Intensity: 10}
+
+// dynamicSite: the site string is not a constant, so no evidence can be
+// keyed to a declaration.
+func dynamicSite(p workload.Program) {
+	id := p.Lib().CreateAtom(siteName(), core.Attributes{})
+	base := p.Malloc("dynamic", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+	}
+}
+
+// mixedStrides: PatternRegular is declared, StrideBytes is not, but the
+// two loops prove different line-granularity strides (128B vs 256B) — no
+// single StrideBytes value is correct, so none is suggested.
+func mixedStrides(p workload.Program) {
+	id := p.Lib().CreateAtom("inferunknown.mixed", core.Attributes{Pattern: core.PatternRegular, RW: core.ReadOnly})
+	base := p.Malloc("mixed", elems*256, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*128))
+	}
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*256))
+	}
+}
+
+// murkIndex: every access is attributed to the base but the index is
+// unresolvable, so no pattern claim survives (RW is already declared).
+func murkIndex(p workload.Program) {
+	id := p.Lib().CreateAtom("inferunknown.murk", core.Attributes{RW: core.ReadWrite})
+	base := p.Malloc("murk", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(scramble(i)%elems*8))
+		p.Store(0, base+mem.Addr(scramble(i)%elems*8))
+	}
+}
+
+// aliasStore: the body stores through an address attrinfer cannot resolve
+// to any base — it could alias the allocation, so ReadOnly is not claimed
+// even though the allocation itself only sees loads.
+func aliasStore(p workload.Program, out mem.Addr) {
+	id := p.Lib().CreateAtom("inferunknown.alias", core.Attributes{Pattern: core.PatternRegular, StrideBytes: 64})
+	base := p.Malloc("alias", elems*64, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*64))
+		p.Store(0, out+mem.Addr(i*64))
+	}
+}
+
+// sharedVar: both sites declare through weakAttrs; the inference is
+// stronger (regular strided loads) but no literal edit is possible.
+func sharedVar(p workload.Program) {
+	a := p.Lib().CreateAtom("inferunknown.sv1", weakAttrs)
+	b := p.Lib().CreateAtom("inferunknown.sv2", weakAttrs)
+	x := p.Malloc("sv1", elems*8, a)
+	y := p.Malloc("sv2", elems*8, b)
+	for i := 0; i < elems; i++ {
+		p.Load(0, x+mem.Addr(i*8))
+		p.Store(0, y+mem.Addr(i*8))
+	}
+}
+
+// positional: a positional Attributes literal is never rewritten — the
+// field meaning depends on the count, and the canonical re-render cannot
+// preserve author intent.
+func positional(p workload.Program) {
+	id := p.Lib().CreateAtom("inferunknown.pos", core.Attributes{0, 0, 0, 0, 0, 0, 0, 0})
+	base := p.Malloc("pos", elems*8, id)
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+	}
+}
+
+// suppressed: the directive keeps attrinfer away from a deliberately
+// untagged Malloc (the dynamic-profiling expression channel of §3.5.1).
+func suppressed(p workload.Program) {
+	base := p.Malloc("handsOff", elems*8, core.InvalidAtom) //xmem:noinfer
+	for i := 0; i < elems; i++ {
+		p.Load(0, base+mem.Addr(i*8))
+	}
+}

@@ -203,6 +203,14 @@ func declareAtoms(w workload.Workload) ([]xm.Atom, error) {
 	return atoms, nil
 }
 
+// stripAtomAttrs models the unannotated binary (Config.StripAtomAttrs):
+// every atom keeps its identity but loses its expressed semantics.
+func stripAtomAttrs(atoms []xm.Atom) {
+	for i := range atoms {
+		atoms[i].Attrs = xm.Attributes{}
+	}
+}
+
 // buildMachine assembles one core's private hierarchy over a (possibly
 // shared) DRAM controller and frame allocator.
 func buildMachine(cfg Config, w workload.Workload, atoms []xm.Atom,
@@ -305,6 +313,9 @@ func Run(cfg Config, w workload.Workload) (Result, error) {
 	atoms, err := declareAtoms(w)
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.StripAtomAttrs {
+		stripAtomAttrs(atoms)
 	}
 	ctl, alloc, policy, err := buildDRAM(cfg, atoms)
 	if err != nil {

@@ -115,6 +115,9 @@ func RunMulti(cfg MultiConfig, ws []workload.Workload) (MultiResult, error) {
 		if err != nil {
 			return MultiResult{}, err
 		}
+		if cfg.Core.StripAtomAttrs {
+			stripAtomAttrs(atoms)
+		}
 		var policy kernel.PlacementPolicy
 		coreCtl := ctl
 		if numaMem != nil {
