@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDupSiteRepro(t *testing.T) {
+	src, err := os.ReadFile("/tmp/dupsite/dup.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	tmpFile := filepath.Join(tmp, "dup.go")
+	if err := os.WriteFile(tmpFile, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := FindModuleRoot(".")
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(tmp, "fixture/dupsite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(loader.Fset, []*Package{pkg}, []*Analyzer{AttrInfer})
+	for _, f := range findings {
+		t.Logf("finding: %s (%d fixes)", f, len(f.SuggestedFixes))
+	}
+	plan, err := PlanFixes(findings)
+	if err != nil {
+		t.Fatalf("PlanFixes: %v", err)
+	}
+	if err := plan.WriteFixes(); err != nil {
+		t.Fatal(err)
+	}
+	fixed, _ := os.ReadFile(tmpFile)
+	t.Logf("fixed source:\n%s", fixed)
+	loader2, _ := NewLoader(root)
+	fixedPkg, err := loader2.LoadDir(tmp, "fixture/dupsitefixed")
+	if err != nil {
+		t.Fatalf("fixed source does not type-check: %v", err)
+	}
+	for _, f := range Run(loader2.Fset, []*Package{fixedPkg}, All()) {
+		t.Logf("post-fix finding: %s", f)
+	}
+}
