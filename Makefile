@@ -4,8 +4,8 @@
 GO ?= go
 
 .PHONY: all build test test-short vet xmem-vet vet-json infer-validate lint \
-        fmtcheck check bench race sweep-smoke metrics-smoke experiments \
-        experiments-paper examples clean
+        fmtcheck check bench bench-snapshot race sweep-smoke metrics-smoke \
+        trace-smoke experiments experiments-paper examples clean
 
 all: build vet test
 
@@ -45,7 +45,7 @@ fmtcheck:
 lint: vet fmtcheck vet-json
 	$(GO) test -race ./internal/core/... ./internal/sim/...
 
-check: build vet test race metrics-smoke sweep-smoke
+check: build vet test race metrics-smoke trace-smoke sweep-smoke
 
 # Full race-detector pass over every package (the parallel sweep runner
 # is the main concurrent surface).
@@ -72,6 +72,22 @@ metrics-smoke:
 	$(GO) run ./cmd/xmem-sim -workload gemm -n 128 -system xmem \
 		-metrics /tmp/xmem_metrics_smoke.json -epoch 50000 >/dev/null
 	$(GO) run ./cmd/xmem-inspect -validate-metrics /tmp/xmem_metrics_smoke.json
+
+# End-to-end causal-tracing smoke: run the Figure 4 thrash point with span
+# sampling on, validate the emitted JSONL stream, and render the explain
+# report (every step exits non-zero on malformed output).
+trace-smoke:
+	$(GO) run ./cmd/xmem-sim -workload gemm -n 96 -tile 262144 -l3 65536 \
+		-system xmem -span-sample 50 \
+		-span-out /tmp/xmem_trace_smoke.jsonl >/dev/null
+	$(GO) run ./cmd/xmem-inspect -validate-spans /tmp/xmem_trace_smoke.jsonl
+	$(GO) run ./cmd/xmem-trace explain -i /tmp/xmem_trace_smoke.jsonl >/dev/null
+
+# Record the span tracer's overhead envelope (BENCH_span.json): the Figure
+# 4 thrash point with spans disabled vs 1-in-1000 vs 1-in-10 sampling,
+# interleaved rounds, medians, and a disabled-vs-reference noise gate.
+bench-snapshot:
+	sh scripts/bench_snapshot.sh
 
 test:
 	$(GO) test ./...

@@ -236,3 +236,32 @@ func BenchmarkOverheadInstructions(b *testing.B) {
 	}
 	b.ReportMetric(100*frac, "instrOverhead%")
 }
+
+// benchSpan runs the Figure 4 thrash point with span tracing off or at a
+// sampling rate, so the trio bounds the tracer's overhead (BENCH_span.json
+// records a snapshot). Disabled, the hot path carries one nil check per
+// access; sampled spans additionally walk the Peek-only harvest sweeps.
+func benchSpan(b *testing.B, every uint64) {
+	p := benchPreset()
+	w := workload.Gemm(workload.TiledConfig{N: p.UC1N, TileBytes: 256 << 10})
+	cfg := sim.FastConfig(p.UC1L3).WithUseCase1Bandwidth(p.UC1BandwidthPerCore)
+	cfg.XMemCache = true
+	cfg.SpanSample = every
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.MustRun(cfg, w)
+		if every > 0 && (res.Spans == nil || len(res.Spans.Spans) == 0) {
+			b.Fatal("no spans retained")
+		}
+	}
+}
+
+// BenchmarkSpanDisabled is the shipped default: the tracer compiled in but
+// off (Config.SpanSample = 0).
+func BenchmarkSpanDisabled(b *testing.B) { benchSpan(b, 0) }
+
+// BenchmarkSpan1in1000 traces one in every thousand demand accesses.
+func BenchmarkSpan1in1000(b *testing.B) { benchSpan(b, 1000) }
+
+// BenchmarkSpan1in10 is an aggressive rate for interactive debugging runs.
+func BenchmarkSpan1in10(b *testing.B) { benchSpan(b, 10) }

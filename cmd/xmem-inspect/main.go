@@ -9,6 +9,7 @@
 //	xmem-inspect -workload libq -segment   # hex-dump the encoded segment
 //	xmem-inspect -placement libq -banks 8  # show the §6.2 bank assignment
 //	xmem-inspect -validate-metrics m.json  # check a metrics file's schema
+//	xmem-inspect -validate-spans s.jsonl   # check a span stream (xmem-sim -span-out)
 //	xmem-inspect -vet results_vet.json     # summarize an xmem-vet -json report
 package main
 
@@ -23,6 +24,7 @@ import (
 	xm "xmem/internal/core"
 	"xmem/internal/kernel"
 	"xmem/internal/obs"
+	"xmem/internal/obs/span"
 	"xmem/internal/workload"
 )
 
@@ -33,6 +35,7 @@ func main() {
 		placement = flag.String("placement", "", "workload whose §6.2 DRAM placement to show")
 		banks     = flag.Int("banks", 8, "bank groups for -placement")
 		validate  = flag.String("validate-metrics", "", "validate a schema-v1 metrics JSON file (from xmem-sim -metrics)")
+		spans     = flag.String("validate-spans", "", "validate a causal span JSONL stream (from xmem-sim -span-out)")
 		vet       = flag.String("vet", "", "validate and summarize an xmem-vet/v1 JSON report (from xmem-vet -json)")
 	)
 	flag.Parse()
@@ -54,6 +57,8 @@ func main() {
 		dumpPlacement(atoms, *banks)
 	case *validate != "":
 		validateMetrics(*validate)
+	case *spans != "":
+		validateSpans(*spans)
 	default:
 		fmt.Println("available workloads:")
 		for _, k := range workload.KernelNames() {
@@ -78,6 +83,21 @@ func validateMetrics(path string) {
 	}
 	fmt.Printf("%s: valid %s (workload %s, %d counters, %d samples, %d atoms, epoch %d cycles)\n",
 		path, r.Schema, r.Workload, len(r.Counters), len(r.Samples), len(r.PerAtom), r.EpochCycles)
+}
+
+// validateSpans checks a causal-span JSONL stream and prints a one-line
+// summary of what it holds.
+func validateSpans(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	d, err := span.ValidateJSONL(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("%s: valid %s (workload %s, 1-in-%d sampling, %d spans, %d dropped)\n",
+		path, d.Schema, d.Workload, d.SampleEvery, len(d.Spans), d.Dropped)
 }
 
 // summarizeVet validates an xmem-vet report (v2, or legacy v1) and prints

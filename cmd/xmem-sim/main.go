@@ -13,8 +13,9 @@
 // synthetic workloads by suite name (-scale applies). A comma-separated
 // -workload list runs as a deterministic sweep: -parallel N fans the
 // workloads over N workers with byte-identical output to a sequential run,
-// and -checkpoint/-resume skip already-completed workloads. The metrics
-// flags (-metrics, -progress, -atoms-top) apply to single-workload runs.
+// and -checkpoint/-resume skip already-completed workloads. The metrics and
+// span-tracing flags (-metrics, -progress, -atoms-top, -span-sample,
+// -span-out) apply to single-workload runs.
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"xmem/internal/dram"
 	"xmem/internal/experiments/runner"
 	"xmem/internal/obs"
+	"xmem/internal/obs/span"
 	"xmem/internal/sim"
 	"xmem/internal/workload"
 )
@@ -51,9 +53,13 @@ func main() {
 		bwCore     = flag.Float64("bw", 2.1e9, "per-core DRAM bandwidth in bytes/s (0 = full channel bandwidth)")
 
 		metricsOut = flag.String("metrics", "", "write epoch-sampled metrics to this file (.csv, .trace.json/.chrome.json, or schema-v1 .json)")
-		epoch      = flag.Uint64("epoch", 0, "metrics sampling epoch in core cycles (0 = 100k default)")
+		epoch      = flag.Uint64("epoch", 0, "metrics/progress epoch in core cycles (0 = 100k default)")
 		atomsTop   = flag.Int("atoms-top", 20, "per-atom attribution rows to print (0 = none)")
-		progress   = flag.Uint64("progress", 0, "print a heartbeat to stderr every N epochs (0 = off; implies metrics)")
+		progress   = flag.Uint64("progress", 0, "print a heartbeat to stderr every N epochs (0 = off; works without -metrics)")
+
+		spanSample = flag.Uint64("span-sample", 0, "trace 1 in N demand accesses as causal spans (0 = off)")
+		spanBuf    = flag.Int("span-buf", 0, "retained-span ring capacity (0 = default)")
+		spanOut    = flag.String("span-out", "", "write sampled spans to this file (.trace.json/.chrome.json = Chrome trace, else JSONL; requires -span-sample)")
 
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for a comma-separated -workload sweep (1 = sequential)")
 		timeout    = flag.Duration("timeout", 0, "per-workload timeout for sweeps (0 = none)")
@@ -157,11 +163,18 @@ func main() {
 	}
 
 	cfg := baseConfig()
-	if *metricsOut != "" || *progress > 0 {
+	cfg.EpochCycles = *epoch
+	if *metricsOut != "" {
 		cfg.Metrics = true
-		cfg.EpochCycles = *epoch
 		cfg.MetricsOut = *metricsOut
 	}
+	if *spanOut != "" && *spanSample == 0 {
+		fmt.Fprintln(os.Stderr, "xmem-sim: -span-out requires -span-sample")
+		os.Exit(2)
+	}
+	cfg.SpanSample = *spanSample
+	cfg.SpanBuffer = *spanBuf
+	cfg.SpanOut = *spanOut
 	if *progress > 0 {
 		every := *progress
 		cfg.OnEpoch = func(p sim.EpochProgress) {
@@ -181,6 +194,10 @@ func main() {
 	if res.Metrics != nil {
 		printPerAtom(res, *atomsTop)
 	}
+	if d := res.Spans; d != nil {
+		fmt.Printf("\nspans           %d retained (1-in-%d sampling), %d sampled, %d dropped\n",
+			len(d.Spans), d.SampleEvery, d.Sampled, d.Dropped)
+	}
 	// Validate schema-v1 JSON output right after writing it; the CSV and
 	// Chrome-trace forms have no self-describing schema to check.
 	if p := *metricsOut; p != "" && !strings.HasSuffix(p, ".csv") &&
@@ -191,6 +208,17 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xmem-sim: metrics output failed validation: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// Same self-check for the JSONL span stream.
+	if p := *spanOut; p != "" && !strings.HasSuffix(p, ".trace.json") && !strings.HasSuffix(p, ".chrome.json") {
+		data, err := os.ReadFile(p)
+		if err == nil {
+			_, err = span.ValidateJSONL(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmem-sim: span output failed validation: %v\n", err)
 			os.Exit(1)
 		}
 	}

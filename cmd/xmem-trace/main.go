@@ -1,14 +1,18 @@
 // Command xmem-trace records, inspects, profiles, and replays memory access
-// traces.
+// traces, and explains causal span streams.
 //
 //	xmem-trace record -workload gemm -n 64 -tile 8192 -o gemm.trc
 //	xmem-trace info -i gemm.trc
 //	xmem-trace profile -i gemm.trc          # infer atom attributes (§3.5.1 profiling channel)
 //	xmem-trace replay -i gemm.trc -l3 262144 -system xmem
+//	xmem-trace explain -i gemm.spans.jsonl  # why were the sampled accesses slow?
 //
 // The profile subcommand is the paper's third expression channel: for code
 // that carries no annotations, a profiling run derives the attributes and
-// emits the same atom segment the programmer or compiler would have.
+// emits the same atom segment the programmer or compiler would have. The
+// explain subcommand consumes the JSONL span stream written by
+// xmem-sim -span-sample/-span-out and prints, per atom, the slowest causal
+// paths with their attribute-tied reason codes.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"xmem/internal/obs/span"
 	"xmem/internal/sim"
 	"xmem/internal/trace"
 	"xmem/internal/workload"
@@ -34,13 +39,15 @@ func main() {
 		cmdProfile(os.Args[2:])
 	case "replay":
 		cmdReplay(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xmem-trace {record|info|profile|replay} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xmem-trace {record|info|profile|replay|explain} [flags]")
 	os.Exit(2)
 }
 
@@ -139,6 +146,27 @@ func cmdProfile(args []string) {
 	for _, s := range p.Sites {
 		fmt.Printf("  site %-4d %10d accesses, stride %6d (%.0f%% regular)\n",
 			s.Site, s.Accesses, s.DominantStride, 100*s.Regularity)
+	}
+}
+
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	in := fs.String("i", "", "input span JSONL file (from xmem-sim -span-out)")
+	top := fs.Int("top", 5, "causal paths to print per atom (0 = all)")
+	fs.Parse(args)
+	if *in == "" {
+		fail(fmt.Errorf("explain needs -i"))
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fail(err)
+	}
+	d, err := span.ValidateJSONL(data)
+	if err != nil {
+		fail(err)
+	}
+	if err := span.WriteExplain(os.Stdout, d, *top); err != nil {
+		fail(err)
 	}
 }
 

@@ -12,6 +12,10 @@
 //  4. re-run the profile-guided machine with the observability layer on
 //     and read the per-atom attribution — the same epoch time series
 //     `xmem-sim -metrics run.json -epoch 100000 -atoms-top 20` writes.
+//  5. turn on causal span tracing for the same run and explain per atom
+//     *why* accesses were slow — the same report `xmem-sim -span-sample
+//     100 -span-out run.jsonl` + `xmem-trace explain -i run.jsonl`
+//     renders from a recorded stream.
 //
 // The program never expressed anything itself; the inferred atom segment
 // alone recovers most of the placement benefit, and the obs layer shows
@@ -34,6 +38,7 @@ import (
 	"xmem/internal/core"
 	"xmem/internal/mem"
 	"xmem/internal/obs"
+	"xmem/internal/obs/span"
 	"xmem/internal/sim"
 	"xmem/internal/trace"
 	"xmem/internal/workload"
@@ -114,4 +119,23 @@ func main() {
 		return c.DemandMisses
 	})
 	fmt.Printf("   attribution coverage: %.0f%% of L3 demand misses\n", 100*cov)
+
+	fmt.Println("\n5. causal spans: why were the slow accesses slow?")
+	cfg.Metrics = false
+	cfg.SpanSample = 100 // trace one in every 100 demand accesses
+	r = sim.MustRun(cfg, trace.ReplayWithAtoms("replay+atoms", tr, atoms))
+	fmt.Printf("   %d spans retained (1-in-%d sampling, %d dropped)\n",
+		len(r.Spans.Spans), r.Spans.SampleEvery, r.Spans.Dropped)
+	// The same grouping `xmem-trace explain` prints: per atom, per path
+	// (layer:outcome[reason] chains), costliest first.
+	for _, a := range span.Explain(r.Spans.Spans)[:2] {
+		name := a.Name
+		if name == "" {
+			name = "(unattributed)"
+		}
+		fmt.Printf("   %s — %d spans, p50 %d p99 %d cycles\n", name, a.Count, a.P50, a.P99)
+		for _, p := range a.Paths[:min(2, len(a.Paths))] {
+			fmt.Printf("     %5d× %s\n", p.Count, p.Path)
+		}
+	}
 }

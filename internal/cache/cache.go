@@ -42,8 +42,54 @@ type Observer func(pa mem.Addr, pc mem.Addr, at uint64, miss bool)
 type EvictionObserver func(pa mem.Addr, atom core.AtomID, pinned bool)
 
 // UsefulObserver is notified the first time a prefetched line serves a
-// demand access — the standard useful-prefetch definition.
-type UsefulObserver func(pa mem.Addr, atom core.AtomID)
+// demand access — the standard useful-prefetch definition. lead is how many
+// cycles before the demand access the prefetched fill completed (0 when the
+// fill was late or its completion is still unresolved): the distribution of
+// leads tells whether the prefetcher runs far enough ahead to hide memory.
+type UsefulObserver func(pa mem.Addr, atom core.AtomID, lead uint64)
+
+// LatencyObserver is notified with the service latency (arrival to data)
+// of every demand access resolved at this level — hits whose completion
+// time is already known. The obs layer feeds per-layer latency histograms
+// from it; a nil observer costs one branch per hit.
+type LatencyObserver func(kind mem.AccessKind, cycles uint64)
+
+// SpanEvent describes one demand access's outcome at one cache level for
+// the causal span tracer. Miss events carry the insertion decision the
+// classifier made for the fill (Pin/PinDenied/Low), hit events whether the
+// line was pinned, prefetched, or still in flight — exactly the facts the
+// tracer turns into attribute-tied reason codes.
+type SpanEvent struct {
+	// PA is the line address; Level the cache's configured name.
+	PA    mem.Addr
+	Level string
+	// Kind is the demand kind (Read or Write).
+	Kind mem.AccessKind
+	// Miss is true when the access missed and filled from below.
+	Miss bool
+	// Delayed marks a hit on a line whose fill is still in flight.
+	Delayed bool
+	// Prefetched marks a hit that consumed a prefetched line (first use).
+	Prefetched bool
+	// Pinned marks a hit on a pinned line, or a miss whose fill was
+	// inserted pinned.
+	Pinned bool
+	// PinDenied marks a miss whose pin request the set cap downgraded.
+	PinDenied bool
+	// LowPriority marks a miss inserted at low priority (streaming bypass).
+	LowPriority bool
+	// Atom is the line's insertion-time atom classification.
+	Atom core.AtomID
+	// At is the arrival cycle at this level; Done the cycle the level's
+	// answer was available (for misses and unresolved delayed hits, the
+	// cycle the request left for the next level).
+	At   uint64
+	Done uint64
+}
+
+// SpanObserver receives one SpanEvent per demand access while installed.
+// A nil observer costs one branch per access.
+type SpanObserver func(ev SpanEvent)
 
 // Stats counts cache activity.
 type Stats struct {
@@ -137,6 +183,8 @@ type Cache struct {
 	observer  Observer
 	evictObs  EvictionObserver
 	usefulObs UsefulObserver
+	latObs    LatencyObserver
+	spanObs   SpanObserver
 
 	stats Stats
 }
@@ -224,6 +272,12 @@ func (c *Cache) SetEvictionObserver(f EvictionObserver) { c.evictObs = f }
 // SetUsefulObserver installs a useful-prefetch observer (obs layer).
 func (c *Cache) SetUsefulObserver(f UsefulObserver) { c.usefulObs = f }
 
+// SetLatencyObserver installs a hit-service-latency observer (obs layer).
+func (c *Cache) SetLatencyObserver(f LatencyObserver) { c.latObs = f }
+
+// SetSpanObserver installs a causal-span observer (span tracer).
+func (c *Cache) SetSpanObserver(f SpanObserver) { c.spanObs = f }
+
 func (c *Cache) index(pa mem.Addr) (set int, tag uint64) {
 	line := mem.LineIndex(pa)
 	return int(line) & (c.sets - 1), line >> uint(log2(c.sets))
@@ -262,15 +316,22 @@ func (c *Cache) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr)
 	if way >= 0 {
 		idx := set*c.ways + way
 		c.recordHit(kind)
-		if kind.IsDemand() {
+		demand := kind.IsDemand()
+		consumedPrefetch := false
+		if demand {
 			if c.observer != nil {
 				c.observer(pa, pc, at, false)
 			}
 			if c.prefetched[idx] {
+				consumedPrefetch = true
 				c.prefetched[idx] = false
 				c.stats.PrefetchUseful++
 				if c.usefulObs != nil {
-					c.usefulObs(pa, c.atoms[idx])
+					lead := uint64(0)
+					if done, ok := c.fill[idx].Peek(); ok && done < at {
+						lead = at - done
+					}
+					c.usefulObs(pa, c.atoms[idx], lead)
 				}
 			}
 		}
@@ -282,10 +343,33 @@ func (c *Cache) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr)
 		}
 		if done, ok := c.fill[idx].Peek(); !ok || done > lookupDone {
 			// The line is still in flight (e.g., an earlier prefetch).
-			if kind.IsDemand() {
+			if demand {
 				c.stats.DelayedHits++
+				evDone := lookupDone
+				if ok {
+					evDone = done
+					if c.latObs != nil {
+						c.latObs(kind, done-at)
+					}
+				}
+				if c.spanObs != nil {
+					c.spanObs(SpanEvent{PA: pa, Level: c.cfg.Name, Kind: kind,
+						Delayed: true, Prefetched: consumedPrefetch,
+						Pinned: c.pinned[idx], Atom: c.atoms[idx],
+						At: at, Done: evDone})
+				}
 			}
 			return c.fill[idx].DeferredMax(lookupDone)
+		}
+		if demand {
+			if c.latObs != nil {
+				c.latObs(kind, lookupDone-at)
+			}
+			if c.spanObs != nil {
+				c.spanObs(SpanEvent{PA: pa, Level: c.cfg.Name, Kind: kind,
+					Prefetched: consumedPrefetch, Pinned: c.pinned[idx],
+					Atom: c.atoms[idx], At: at, Done: lookupDone})
+			}
 		}
 		return mem.Done(lookupDone)
 	}
@@ -301,7 +385,12 @@ func (c *Cache) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr)
 		fetchKind = mem.Prefetch
 	}
 	fill := c.next.Access(pa, fetchKind, lookupDone, pc)
-	c.install(pa, set, tag, kind, at, fill, pc)
+	ins, pinDenied := c.install(pa, set, tag, kind, at, fill, pc)
+	if kind.IsDemand() && c.spanObs != nil {
+		c.spanObs(SpanEvent{PA: pa, Level: c.cfg.Name, Kind: kind, Miss: true,
+			Pinned: ins.Pin, PinDenied: pinDenied, LowPriority: ins.Pri == InsertLow,
+			Atom: ins.Atom, At: at, Done: lookupDone})
+	}
 	return fill
 }
 
@@ -341,17 +430,21 @@ func (c *Cache) recordMiss(kind mem.AccessKind) {
 	}
 }
 
-// install fills pa into the cache, evicting a victim if needed.
-func (c *Cache) install(pa mem.Addr, set int, tag uint64, kind mem.AccessKind, at uint64, fill mem.Result, pc mem.Addr) {
+// install fills pa into the cache, evicting a victim if needed. It returns
+// the applied insertion decision and whether a requested pin was denied by
+// the set cap (the span tracer reports both).
+func (c *Cache) install(pa mem.Addr, set int, tag uint64, kind mem.AccessKind, at uint64, fill mem.Result, pc mem.Addr) (Insertion, bool) {
 	ins := Insertion{Pri: InsertDefault, Atom: core.InvalidAtom}
 	if c.classify != nil {
 		ins = c.classify(pa, kind)
 	}
+	pinDenied := false
 	if ins.Pin {
 		if c.pinnedInSet[set] >= c.pinCapWays {
 			// §5.2(3): beyond the cap, insert with the default policy.
 			ins.Pin = false
 			ins.Pri = InsertDefault
+			pinDenied = true
 			c.stats.PinDowngrades++
 		} else {
 			ins.Pri = InsertHigh
@@ -400,6 +493,7 @@ func (c *Cache) install(pa mem.Addr, set int, tag uint64, kind mem.AccessKind, a
 		c.stats.PrefetchFills++
 	}
 	c.policy.Insert(set, way, ins.Pri)
+	return ins, pinDenied
 }
 
 // chooseVictim prefers invalid ways, then unpinned lines; pinned lines are

@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"testing"
+
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+// pendingMemory is a backing store whose reads stay in flight until the test
+// resolves them, for exercising delayed hits and prefetch lead times.
+type pendingMemory struct {
+	futures []*mem.Future
+}
+
+func (m *pendingMemory) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr) mem.Result {
+	if kind == mem.Writeback {
+		return mem.Done(at)
+	}
+	var f *mem.Future
+	f = mem.NewFuture(func() { f.Resolve(at + 1000) })
+	m.futures = append(m.futures, f)
+	return mem.Pending(f)
+}
+
+func TestSpanObserverHitAndMiss(t *testing.T) {
+	c, _ := testCache(t, 4096, 4, "lru")
+	var evs []SpanEvent
+	c.SetSpanObserver(func(ev SpanEvent) { evs = append(evs, ev) })
+
+	c.Access(0x1000, mem.Read, 0, 0)
+	c.Access(0x1000, mem.Write, 200, 0)
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	miss, hit := evs[0], evs[1]
+	if !miss.Miss || miss.Level != "L" || miss.Kind != mem.Read || miss.At != 0 || miss.Done != 4 {
+		t.Errorf("miss event = %+v", miss)
+	}
+	if miss.Atom != core.InvalidAtom || miss.Pinned || miss.PinDenied || miss.LowPriority {
+		t.Errorf("classifier-less miss carries insertion flags: %+v", miss)
+	}
+	if hit.Miss || hit.Delayed || hit.Kind != mem.Write || hit.At != 200 || hit.Done != 204 {
+		t.Errorf("hit event = %+v", hit)
+	}
+
+	// Prefetch probes and writebacks are not demand accesses and stay silent.
+	evs = nil
+	c.Access(0x2000, mem.Prefetch, 300, 0)
+	c.Access(0x1000, mem.Writeback, 310, 0)
+	if len(evs) != 0 {
+		t.Errorf("non-demand kinds fired %d span events", len(evs))
+	}
+}
+
+// TestSpanObserverPinOutcomes drives the §5.2 insertion outcomes through one
+// set: pinned fills until the 75% cap, then a denied pin, plus a
+// low-priority (bypass) fill.
+func TestSpanObserverPinOutcomes(t *testing.T) {
+	// 256B/4-way = one set; cap = 3 pinned ways.
+	c, _ := testCache(t, 256, 4, "lru")
+	pin := true
+	c.SetClassifier(func(pa mem.Addr, kind mem.AccessKind) Insertion {
+		if pin {
+			return Insertion{Pin: true, Atom: 7}
+		}
+		return Insertion{Pri: InsertLow, Atom: 8}
+	})
+	var evs []SpanEvent
+	c.SetSpanObserver(func(ev SpanEvent) { evs = append(evs, ev) })
+
+	for i := 0; i < 4; i++ {
+		c.Access(mem.Addr(i)<<12, mem.Read, uint64(i*10), 0)
+	}
+	pin = false
+	c.Access(0x8000, mem.Read, 100, 0)
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i := 0; i < 3; i++ {
+		if !evs[i].Pinned || evs[i].PinDenied || evs[i].Atom != 7 {
+			t.Errorf("fill %d = %+v, want pinned", i, evs[i])
+		}
+	}
+	if !evs[3].PinDenied || evs[3].Pinned {
+		t.Errorf("capped fill = %+v, want pin denied", evs[3])
+	}
+	if !evs[4].LowPriority || evs[4].Atom != 8 {
+		t.Errorf("bypass fill = %+v, want low priority", evs[4])
+	}
+}
+
+func TestSpanObserverDelayedHit(t *testing.T) {
+	next := &pendingMemory{}
+	c := MustNew(Config{Name: "L3", SizeBytes: 4096, Ways: 4, Latency: 4, Policy: "lru"}, next)
+	var evs []SpanEvent
+	c.SetSpanObserver(func(ev SpanEvent) { evs = append(evs, ev) })
+	var useful []uint64
+	c.SetUsefulObserver(func(pa mem.Addr, atom core.AtomID, lead uint64) { useful = append(useful, lead) })
+
+	// A prefetch installs the line; its fill stays in flight.
+	c.Access(0x1000, mem.Prefetch, 0, 0)
+	// A demand read under the in-flight fill: delayed hit, prefetched.
+	c.Access(0x1000, mem.Read, 10, 0)
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if !ev.Delayed || ev.Miss || !ev.Prefetched {
+		t.Errorf("delayed-hit event = %+v", ev)
+	}
+	if ev.At != 10 || ev.Done != 14 {
+		t.Errorf("unresolved delayed hit times = at %d done %d (done falls back to lookup)", ev.At, ev.Done)
+	}
+	// The lead is unknown while the fill is unresolved.
+	if len(useful) != 1 || useful[0] != 0 {
+		t.Errorf("useful leads = %v, want [0]", useful)
+	}
+}
+
+func TestUsefulObserverLead(t *testing.T) {
+	next := &pendingMemory{}
+	c := MustNew(Config{Name: "L3", SizeBytes: 4096, Ways: 4, Latency: 4, Policy: "lru"}, next)
+	var leads []uint64
+	c.SetUsefulObserver(func(pa mem.Addr, atom core.AtomID, lead uint64) { leads = append(leads, lead) })
+	var evs []SpanEvent
+	c.SetSpanObserver(func(ev SpanEvent) { evs = append(evs, ev) })
+
+	c.Access(0x1000, mem.Prefetch, 0, 0)
+	next.futures[0].Resolve(50) // the prefetch lands at cycle 50
+	c.Access(0x1000, mem.Read, 200, 0)
+	if len(leads) != 1 || leads[0] != 150 {
+		t.Fatalf("leads = %v, want [150] (landed 150 cycles ahead of demand)", leads)
+	}
+	if len(evs) != 1 || evs[0].Delayed || !evs[0].Prefetched {
+		t.Fatalf("resolved prefetch hit = %+v", evs)
+	}
+	// Second demand access: the prefetched bit was consumed.
+	c.Access(0x1000, mem.Read, 300, 0)
+	if len(leads) != 1 {
+		t.Errorf("useful fired again on a later hit: %v", leads)
+	}
+	if len(evs) != 2 || evs[1].Prefetched {
+		t.Errorf("second hit still marked prefetched: %+v", evs[1])
+	}
+}
+
+func TestLatencyObserver(t *testing.T) {
+	c, _ := testCache(t, 4096, 4, "lru")
+	type obs struct {
+		kind   mem.AccessKind
+		cycles uint64
+	}
+	var got []obs
+	c.SetLatencyObserver(func(kind mem.AccessKind, cycles uint64) { got = append(got, obs{kind, cycles}) })
+
+	c.Access(0x1000, mem.Read, 0, 0)   // miss: resolved below, not here
+	c.Access(0x1000, mem.Read, 200, 0) // hit: 4-cycle lookup
+	c.Access(0x1000, mem.Write, 300, 0)
+	c.Access(0x2000, mem.Prefetch, 400, 0) // prefetch probes are not demand
+	want := []obs{{mem.Read, 4}, {mem.Write, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("latency observations = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("observation %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -77,6 +77,15 @@ func (b *ALB) Fill(pa mem.Addr, atoms []AtomID) {
 	b.byPage[page] = b.lru.PushFront(&albEntry{page: page, atoms: atoms})
 }
 
+// Covers reports whether the ALB currently caches the page containing pa,
+// without touching LRU state or counters. The span tracer uses it to tag a
+// traced access's resolution path (alb-hit vs alb-miss-aam-walk) without
+// perturbing the modeled ALB statistics.
+func (b *ALB) Covers(pa mem.Addr) bool {
+	_, ok := b.byPage[mem.PageIndex(pa)]
+	return ok
+}
+
 // InvalidatePage drops the cached entry for the page containing pa. The AMU
 // calls this when an ATOM_MAP/ATOM_UNMAP touches the page.
 func (b *ALB) InvalidatePage(pa mem.Addr) {

@@ -103,10 +103,13 @@ type channel struct {
 }
 
 // Observer is notified of every scheduled DRAM command with its row-buffer
-// outcome (rowHit false covers both empty rows and conflicts). The
-// observability layer uses it for per-atom row-locality attribution; a nil
-// observer costs one branch per command.
-type Observer func(pa mem.Addr, kind mem.AccessKind, rowHit bool)
+// outcome (rowHit false covers both empty rows and conflicts), its arrival
+// cycle, and the cycle its data burst completes. The observability layer
+// uses it for per-atom row-locality attribution, service-latency
+// histograms, and span DRAM stages; a nil observer costs one branch per
+// command. The callback fires at scheduling time — under lazy FR-FCFS that
+// may be during a later access's drain — with fully-computed timing.
+type Observer func(pa mem.Addr, kind mem.AccessKind, rowHit bool, arrival, done uint64)
 
 // Controller is the memory controller plus the DRAM devices behind it.
 // It is not safe for concurrent use; each simulated machine owns its
@@ -381,9 +384,6 @@ func (c *Controller) issue(ch *channel, r *request) {
 		b.activateAt = pre + c.timing.RP
 	}
 	b.openRow = int64(r.loc.Row)
-	if c.obs != nil {
-		c.obs(r.addr, r.kind, rowHit)
-	}
 	if r.kind == mem.Writeback {
 		lat += c.timing.WritePenalty
 	}
@@ -391,6 +391,9 @@ func (c *Controller) issue(ch *channel, r *request) {
 	dataAt := max64(start+lat, ch.busReadyAt)
 	done := dataAt + c.timing.Burst
 	ch.busReadyAt = done
+	if c.obs != nil {
+		c.obs(r.addr, r.kind, rowHit, r.arrival, done)
+	}
 	// Column commands pipeline: the bank can accept the next CAS one
 	// burst after this one issued (tCCD), so consecutive row hits stream
 	// at the bus rate rather than serializing on the access latency.

@@ -143,9 +143,19 @@ func (m *Memory) SetObserver(f dram.Observer) {
 		m.nvmCtl.SetObserver(nil)
 		return
 	}
-	m.nvmCtl.SetObserver(func(pa mem.Addr, kind mem.AccessKind, rowHit bool) {
-		f(pa+m.split, kind, rowHit)
+	m.nvmCtl.SetObserver(func(pa mem.Addr, kind mem.AccessKind, rowHit bool, arrival, done uint64) {
+		f(pa+m.split, kind, rowHit, arrival, done)
 	})
+}
+
+// TierOf reports which tier services machine physical address pa — the
+// routing decision of Access, exposed so observers can label events with
+// the tier ("dram"/"nvm") they came from.
+func (m *Memory) TierOf(pa mem.Addr) Tier {
+	if pa < m.split {
+		return TierDRAM
+	}
+	return TierNVM
 }
 
 // Allocator hands out frames by tier: group 0 is the DRAM tier, group 1 the

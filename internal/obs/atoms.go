@@ -51,6 +51,9 @@ func NewAtomTable() *AtomTable {
 // SetName attaches a display name to an atom (from the atom segment).
 func (t *AtomTable) SetName(id core.AtomID, name string) { t.names[id] = name }
 
+// Name returns the display name recorded for an atom ("" if unknown).
+func (t *AtomTable) Name(id core.AtomID) string { return t.names[id] }
+
 func (t *AtomTable) get(id core.AtomID) *AtomCounters {
 	c := t.counters[id]
 	if c == nil {

@@ -26,6 +26,10 @@ type Report struct {
 	Samples []Sample `json:"samples"`
 	// PerAtom is the end-of-run attribution table, sorted by demand misses.
 	PerAtom []AtomSummary `json:"perAtom,omitempty"`
+	// Latency is the per-layer/per-atom latency-histogram section (nil on
+	// reports from runs without latency collection; the schema tag is
+	// unchanged because the section is strictly additive).
+	Latency *LatencyReport `json:"latency,omitempty"`
 }
 
 // WriteJSON writes the report as indented schema-v1 JSON.

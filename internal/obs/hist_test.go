@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("zero histogram is not empty")
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(4) // bucket 3: [4,8)
+	}
+	h.Observe(100) // bucket 7: [64,128)
+	if h.Count() != 10 || h.Max() != 100 {
+		t.Fatalf("count %d max %d", h.Count(), h.Max())
+	}
+	if m := h.Mean(); m != 13.6 {
+		t.Errorf("Mean() = %v, want 13.6", m)
+	}
+	// Percentiles are bucket upper edges, capped at the true max.
+	if p := h.Percentile(50); p != 7 {
+		t.Errorf("P50 = %d, want 7 (upper edge of [4,8))", p)
+	}
+	if p := h.Percentile(99); p != 100 {
+		t.Errorf("P99 = %d, want 100 (edge 127 capped at max)", p)
+	}
+}
+
+func TestHistogramZeroAndHuge(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1 << 62) // beyond the last bucket edge: clamps to bucket 39
+	if h.Count() != 2 || h.Max() != 1<<62 {
+		t.Fatalf("count %d max %d", h.Count(), h.Max())
+	}
+	if p := h.Percentile(1); p != 0 {
+		t.Errorf("P1 = %d, want 0", p)
+	}
+	// The last bucket's edge bounds what the log2 resolution can say.
+	if p := h.Percentile(99); p != 1<<39-1 {
+		t.Errorf("P99 = %d, want the last bucket edge %d", p, uint64(1)<<39-1)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(4)
+	b.Observe(100)
+	b.Observe(2)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Max() != 100 {
+		t.Fatalf("merged count %d max %d", a.Count(), a.Max())
+	}
+	s := a.Summary("cache.l1d.hit_service")
+	if s.Name != "cache.l1d.hit_service" || s.Count != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Buckets trim after the last non-empty one (bucket 7 for value 100).
+	if len(s.Buckets) != 8 {
+		t.Fatalf("trimmed buckets = %d, want 8", len(s.Buckets))
+	}
+	if err := checkSummary("merged", &s); err != nil {
+		t.Errorf("summary self-check: %v", err)
+	}
+}
+
+func TestCheckSummaryRejects(t *testing.T) {
+	base := func() HistSummary {
+		var h Histogram
+		h.Observe(10)
+		h.Observe(20)
+		return h.Summary("dram.ctl.demand_service")
+	}
+	cases := map[string]func(*HistSummary){
+		"p50 above p95":       func(s *HistSummary) { s.P50 = s.P95 + 1 },
+		"p99 above max":       func(s *HistSummary) { s.P99 = s.Max + 1 },
+		"bucket sum mismatch": func(s *HistSummary) { s.Buckets[len(s.Buckets)-1]++ },
+		"too many buckets":    func(s *HistSummary) { s.Buckets = make([]uint64, histBuckets+1) },
+	}
+	for name, mutate := range cases {
+		s := base()
+		mutate(&s)
+		if err := checkSummary(name, &s); err == nil {
+			t.Errorf("%s: check passed", name)
+		}
+	}
+}
+
+// latencyReport attaches a small real latency section to the golden report.
+func latencyReport() *Report {
+	r := goldenReport()
+	var l1, dram, atom Histogram
+	l1.Observe(4)
+	l1.Observe(4)
+	dram.Observe(311)
+	atom.Observe(311)
+	r.Latency = &LatencyReport{
+		Layers: []HistSummary{
+			l1.Summary("cache.l1d.hit_service"),
+			dram.Summary("dram.ctl.demand_service"),
+		},
+		PerAtom: []AtomLatency{{ID: 1, HistSummary: atom.Summary("gemm.tile")}},
+	}
+	return r
+}
+
+func TestValidateJSONLatencySection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := latencyReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ValidateJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Latency.Layers) != 2 || len(r.Latency.PerAtom) != 1 {
+		t.Fatalf("latency section lost data: %+v", r.Latency)
+	}
+
+	cases := map[string]func(*Report){
+		"empty layers":       func(r *Report) { r.Latency.Layers = nil },
+		"unnamed layer":      func(r *Report) { r.Latency.Layers[0].Name = "" },
+		"bad layer summary":  func(r *Report) { r.Latency.Layers[1].P99 = r.Latency.Layers[1].Max + 1 },
+		"bad atom summary":   func(r *Report) { r.Latency.PerAtom[0].P50 = r.Latency.PerAtom[0].P95 + 1 },
+		"bucket/count drift": func(r *Report) { r.Latency.Layers[0].Count += 3 },
+	}
+	for name, mutate := range cases {
+		r := latencyReport()
+		mutate(r)
+		buf.Reset()
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateJSON(buf.Bytes()); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+
+	// A report without the section still validates (it is optional).
+	buf.Reset()
+	if err := goldenReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateJSON(buf.Bytes()); err != nil {
+		t.Errorf("latency-less report: %v", err)
+	}
+}
+
+// TestValidateJSONDetectsSpanStream: feeding a span JSONL stream to the
+// metrics validator is a format mix-up, diagnosed with a pointer to the
+// right tool instead of a JSON parse error.
+func TestValidateJSONDetectsSpanStream(t *testing.T) {
+	stream := []byte(`{"schema":"xmem.span.v1","workload":"w","sampleEvery":10,"sampled":1,"published":1,"dropped":0}` + "\n" +
+		`{"seq":1,"atom":0,"kind":"read","pa":64,"pc":0,"start":1,"end":5,"stages":[{"layer":"l1d","outcome":"hit","at":1,"done":5}]}` + "\n")
+	_, err := ValidateJSON(stream)
+	if err == nil || !strings.Contains(err.Error(), "span JSONL") {
+		t.Fatalf("span-stream error = %v", err)
+	}
+}

@@ -32,7 +32,10 @@ type Sampler struct {
 }
 
 // NewSampler returns a sampler snapshotting reg every epochCycles cycles
-// (0 selects DefaultEpochCycles). atoms may be nil.
+// (0 selects DefaultEpochCycles). atoms may be nil. reg may also be nil:
+// a registry-less sampler still detects epoch boundaries (Tick returns the
+// epoch index) but records no samples — the simulator uses this to drive
+// progress heartbeats without the full metrics machinery.
 func NewSampler(reg *Registry, epochCycles uint64, atoms *AtomTable) *Sampler {
 	if epochCycles == 0 {
 		epochCycles = DefaultEpochCycles
@@ -49,6 +52,11 @@ func (s *Sampler) EpochCycles() uint64 { return s.epoch }
 // is taken for the latest fully-started epoch — intermediate epochs cannot
 // be reconstructed retroactively and are skipped; the recorded cycle stays
 // aligned to an EpochCycles multiple either way.
+//
+// Boundary semantics: callers must Tick with an op's issue cycle BEFORE
+// performing the op. An op issuing exactly on an EpochCycles multiple kE
+// then belongs to epoch k and is excluded from the boundary-kE snapshot;
+// ticking after the op would fold it into the previous epoch's sample.
 func (s *Sampler) Tick(cycle uint64) int64 {
 	if cycle < s.next {
 		return -1
@@ -70,6 +78,9 @@ func (s *Sampler) Finish(cycle uint64) {
 }
 
 func (s *Sampler) record(epoch, cycle uint64) {
+	if s.reg == nil {
+		return
+	}
 	sm := Sample{Epoch: epoch, Cycle: cycle, Values: s.reg.Snapshot()}
 	if s.atoms != nil {
 		sm.Atoms = s.atoms.Snapshot()

@@ -123,3 +123,64 @@ func TestSamplerDefaultEpoch(t *testing.T) {
 		t.Fatalf("EpochCycles() = %d", s.EpochCycles())
 	}
 }
+
+// TestSamplerExactBoundaryPreOpTick is the regression test for the
+// epoch-boundary edge: under the documented protocol (Tick with the op's
+// issue cycle BEFORE performing it), an op issuing exactly on an EpochCycles
+// multiple belongs to the new epoch and must be excluded from the boundary
+// snapshot. Ticking after the op used to fold it into the previous epoch.
+func TestSamplerExactBoundaryPreOpTick(t *testing.T) {
+	var instr uint64
+	s := NewSampler(testRegistry(&instr), 100, nil)
+	for _, issue := range []uint64{97, 98, 99, 100, 101} {
+		s.Tick(issue) // pre-op
+		instr++       // the op retires
+	}
+	got := s.Samples()
+	if len(got) != 1 {
+		t.Fatalf("got %d samples, want 1", len(got))
+	}
+	if got[0].Cycle != 100 || got[0].Values[0] != 3 {
+		t.Fatalf("boundary sample = cycle %d value %v, want cycle 100 value 3 (the cycle-100 op is epoch 1's)",
+			got[0].Cycle, got[0].Values[0])
+	}
+}
+
+// TestSamplerZeroCycle: cycle 0 is inside epoch 0, and a zero-length run
+// still gets its Finish sample.
+func TestSamplerZeroCycle(t *testing.T) {
+	var instr uint64
+	s := NewSampler(testRegistry(&instr), 100, nil)
+	if e := s.Tick(0); e != -1 {
+		t.Fatalf("Tick(0) sampled epoch %d", e)
+	}
+	s.Finish(0)
+	got := s.Samples()
+	if len(got) != 1 || got[0].Epoch != 0 || got[0].Cycle != 0 {
+		t.Fatalf("zero-cycle Finish samples = %+v", got)
+	}
+	// A second Finish at the same cycle stays a no-op.
+	s.Finish(0)
+	if len(s.Samples()) != 1 {
+		t.Fatal("duplicate zero-cycle Finish added a sample")
+	}
+}
+
+// TestSamplerNilRegistry: a registry-less sampler detects boundaries (the
+// progress heartbeat path) but records nothing.
+func TestSamplerNilRegistry(t *testing.T) {
+	s := NewSampler(nil, 100, nil)
+	if e := s.Tick(99); e != -1 {
+		t.Fatalf("Tick(99) = %d", e)
+	}
+	if e := s.Tick(100); e != 1 {
+		t.Fatalf("Tick(100) = %d, want epoch 1", e)
+	}
+	if e := s.Tick(250); e != 2 {
+		t.Fatalf("Tick(250) = %d, want epoch 2", e)
+	}
+	s.Finish(321)
+	if n := len(s.Samples()); n != 0 {
+		t.Fatalf("registry-less sampler recorded %d samples", n)
+	}
+}

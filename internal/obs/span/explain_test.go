@@ -1,0 +1,122 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xmem/internal/core"
+)
+
+// mkSpan builds a one-stage span with the given atom, path stage, and
+// latency.
+func mkSpan(seq uint64, atom core.AtomID, name, layer, outcome, reason string, lat uint64) Span {
+	s := Span{Seq: seq, Atom: atom, AtomName: name, Kind: "read", Start: 1000, End: 1000 + lat}
+	s.AddStage(layer, outcome, reason, 1000, 1000+lat)
+	return s
+}
+
+func TestExplainGroupsByAtomAndPath(t *testing.T) {
+	spans := []Span{
+		// Atom 1: two paths, 3+1 spans, 470 total cycles.
+		mkSpan(1, 1, "gemm.tile", "l3", "miss", "", 150),
+		mkSpan(2, 1, "gemm.tile", "l3", "miss", "", 140),
+		mkSpan(3, 1, "gemm.tile", "l3", "miss", "", 160),
+		mkSpan(4, 1, "gemm.tile", "l3", "hit", ReasonPinnedByReuse, 20),
+		// Unattributed: one cheap path, 8 cycles.
+		mkSpan(5, core.InvalidAtom, "", "l1d", "hit", "", 8),
+	}
+	out := Explain(spans)
+	if len(out) != 2 {
+		t.Fatalf("got %d atoms, want 2", len(out))
+	}
+	// Costliest atom first.
+	a := out[0]
+	if a.Atom != 1 || a.Name != "gemm.tile" || a.Count != 4 || a.TotalCycles != 470 {
+		t.Fatalf("atom[0] = %+v", a)
+	}
+	if a.P50 != 140 || a.P99 != 160 {
+		t.Errorf("atom percentiles p50=%d p99=%d, want 140 and 160", a.P50, a.P99)
+	}
+	if len(a.Paths) != 2 {
+		t.Fatalf("atom paths = %+v", a.Paths)
+	}
+	// Costliest path first, within-path percentiles over its own spans.
+	if a.Paths[0].Path != "l3:miss" || a.Paths[0].Count != 3 || a.Paths[0].TotalCycles != 450 {
+		t.Fatalf("path[0] = %+v", a.Paths[0])
+	}
+	if a.Paths[0].P50 != 150 {
+		t.Errorf("path p50 = %d, want 150", a.Paths[0].P50)
+	}
+	if a.Paths[1].Path != "l3:hit[pinned-by-Reuse]" {
+		t.Errorf("path[1] = %q", a.Paths[1].Path)
+	}
+	if out[1].Atom != core.InvalidAtom || out[1].TotalCycles != 8 {
+		t.Fatalf("atom[1] = %+v", out[1])
+	}
+}
+
+func TestExplainTiesAreDeterministic(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, 2, "", "l1d", "hit", "", 10),
+		mkSpan(2, 1, "", "l2", "hit", "", 10),
+	}
+	out := Explain(spans)
+	if out[0].Atom != 1 || out[1].Atom != 2 {
+		t.Fatalf("equal-cost atoms not ordered by ID: %+v", out)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %d", got)
+	}
+	sorted := []uint64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want uint64
+	}{{0.50, 20}, {0.95, 40}, {0.01, 10}, {1.0, 40}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestWriteExplain(t *testing.T) {
+	d := goldenDump()
+	var buf bytes.Buffer
+	if err := WriteExplain(&buf, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"span explain: gemm/n96/t16384 (1-in-100 sampling, 2 spans retained, 0 dropped)",
+		"atom gemm.tile (1)",
+		"(unattributed)",
+		ReasonPinnedByReuse,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	// topPaths elision: give the tile a second path and cap at 1.
+	extra := mkSpan(3, 1, "gemm.tile", "l1d", "hit", "", 4)
+	d.Spans = append(d.Spans, extra)
+	buf.Reset()
+	if err := WriteExplain(&buf, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "… 1 more paths") {
+		t.Errorf("elision line missing:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteExplain(&buf, &Dump{Workload: "w", SampleEvery: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no spans recorded") {
+		t.Errorf("empty-dump output = %q", buf.String())
+	}
+}

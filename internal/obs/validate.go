@@ -1,17 +1,24 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 )
 
 // ValidateJSON checks that data is a well-formed schema-v1 metrics dump:
 // right schema tag, a positive epoch length, a non-empty counter list,
-// every sample's value vector index-aligned with it, and cycles strictly
-// increasing. The metrics-smoke CI target and xmem-sim's post-write check
-// both run it, so a schema regression fails the build rather than a later
-// consumer.
+// every sample's value vector index-aligned with it, cycles strictly
+// increasing, and — when the optional latency section is present — every
+// histogram internally consistent. The metrics-smoke CI target and
+// xmem-sim's post-write check both run it, so a schema regression fails
+// the build rather than a later consumer. Span JSONL streams are a
+// different format with their own validator (span.ValidateJSONL); feeding
+// one here is diagnosed explicitly.
 func ValidateJSON(data []byte) (*Report, error) {
+	if bytes.Contains(firstLine(data), []byte(`"xmem.span.v1"`)) {
+		return nil, fmt.Errorf("obs: this is a span JSONL stream, not a metrics report; validate it with span.ValidateJSONL (xmem-inspect -validate-spans)")
+	}
 	var r Report
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("obs: metrics JSON does not parse: %w", err)
@@ -43,5 +50,33 @@ func ValidateJSON(data []byte) (*Report, error) {
 		}
 		lastCycle = s.Cycle
 	}
+	if r.Latency != nil {
+		if len(r.Latency.Layers) == 0 {
+			return nil, fmt.Errorf("obs: latency section present but has no layers")
+		}
+		for i := range r.Latency.Layers {
+			l := &r.Latency.Layers[i]
+			if l.Name == "" {
+				return nil, fmt.Errorf("obs: latency layer %d has no name", i)
+			}
+			if err := checkSummary("latency layer "+l.Name, l); err != nil {
+				return nil, err
+			}
+		}
+		for i := range r.Latency.PerAtom {
+			a := &r.Latency.PerAtom[i]
+			if err := checkSummary(fmt.Sprintf("latency atom %d", a.ID), &a.HistSummary); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return &r, nil
+}
+
+// firstLine returns data up to (not including) the first newline.
+func firstLine(data []byte) []byte {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		return data[:i]
+	}
+	return data
 }

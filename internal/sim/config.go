@@ -90,9 +90,27 @@ type Config struct {
 	// CSV, ".trace.json"/".chrome.json" → Chrome trace_event JSON (open in
 	// chrome://tracing or Perfetto), anything else → schema-v1 JSON.
 	MetricsOut string
-	// OnEpoch, when set (requires Metrics), is called at every epoch
-	// boundary — the CLI's -progress heartbeat hangs off it.
+	// OnEpoch, when set, is called at every epoch boundary — the CLI's
+	// -progress heartbeat hangs off it. It does NOT require Metrics: a
+	// machine with OnEpoch but no Metrics runs a registry-less sampler
+	// that only detects boundaries (no snapshots, no attribution), so
+	// progress reporting stays decoupled from the metrics machinery.
 	OnEpoch func(EpochProgress)
+	// SpanSample enables causal span tracing: one in every SpanSample
+	// demand accesses is followed end-to-end (AMU → L1/L2/L3 → DRAM) with
+	// per-layer outcomes and attribute-tied reason codes. 0 disables
+	// tracing; disabled cost is one nil check per access. Tracing is
+	// timing-neutral: span completion times are harvested from the memory
+	// controller's futures without forcing them, so a traced run schedules
+	// identically to an untraced one.
+	SpanSample uint64
+	// SpanBuffer caps the retained-span ring (0 = span.DefaultBuffer).
+	// Older spans are overwritten once the ring is full.
+	SpanBuffer int
+	// SpanOut, when non-empty (requires SpanSample), is written by Run
+	// after the workload finishes: ".trace.json"/".chrome.json" → nested
+	// Chrome trace events, anything else → the JSONL span stream.
+	SpanOut string
 	// ContextSwitchInterval, when nonzero, forces a context switch (ALB
 	// flush + GAT/AST reload, §4.3/§4.4) every so many cycles, for
 	// measuring XMem's context-switch sensitivity.

@@ -11,6 +11,7 @@ import (
 	"xmem/internal/kernel"
 	"xmem/internal/mem"
 	"xmem/internal/obs"
+	"xmem/internal/obs/span"
 	"xmem/internal/prefetch"
 	"xmem/internal/workload"
 )
@@ -49,6 +50,9 @@ type Result struct {
 	// hits/misses, pinned evictions, prefetches) to atoms, sorted by
 	// demand misses (nil unless Config.Metrics).
 	PerAtom []obs.AtomSummary
+	// Spans is the causal span trace: the retained sampled accesses with
+	// per-layer outcomes and reason codes (nil unless Config.SpanSample).
+	Spans *span.Dump
 }
 
 // memorySystem is what sits below the L3: a plain DRAM controller or a
@@ -99,12 +103,17 @@ type Machine struct {
 	ctxSwitches   uint64
 
 	// Observability state (nil unless Config.Metrics; the hot path checks
-	// only `sampler != nil`). pageAtoms is the OS-side PA-page→atom index
-	// built at Malloc time for attribution fallback.
+	// only `sampler != nil` — with Config.OnEpoch but no Metrics, sampler
+	// is a registry-less boundary ticker and reg stays nil). pageAtoms is
+	// the OS-side PA-page→atom index built at Malloc time for attribution
+	// fallback. lat carries the latency histograms (with Metrics); spans
+	// the causal tracer (with Config.SpanSample).
 	reg       *obs.Registry
 	sampler   *obs.Sampler
 	attrib    *obs.AtomTable
 	pageAtoms map[uint64]xm.AtomID
+	lat       *latencyState
+	spans     *spanState
 }
 
 // bwWindowCycles is the utilization-sampling window.
@@ -260,6 +269,13 @@ func buildMachine(cfg Config, w workload.Workload, atoms []xm.Atom,
 	l3.SetObserver(m.observeL3)
 	if cfg.Metrics {
 		m.enableMetrics()
+	} else if cfg.OnEpoch != nil {
+		// Progress heartbeats without the metrics machinery: a
+		// registry-less sampler only detects epoch boundaries.
+		m.sampler = obs.NewSampler(nil, cfg.EpochCycles, nil)
+	}
+	if cfg.SpanSample > 0 {
+		m.enableSpans()
 	}
 	return m, nil
 }
@@ -302,8 +318,11 @@ func (m *Machine) result(cycles uint64) Result {
 		d, n := hm.TierStats()
 		res.TierDRAM, res.TierNVM = &d, &n
 	}
-	if m.sampler != nil {
+	if m.reg != nil {
 		res.Metrics, res.PerAtom = m.metricsReport(cycles)
+	}
+	if m.spans != nil {
+		res.Spans = m.spanDump()
 	}
 	return res
 }
@@ -325,7 +344,7 @@ func Run(cfg Config, w workload.Workload) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if m.attrib != nil {
+	if m.attrib != nil || m.lat != nil || m.spans != nil {
 		m.observeDRAM()
 	}
 	w.Run(m)
@@ -334,6 +353,11 @@ func Run(cfg Config, w workload.Workload) (Result, error) {
 	res := m.result(cycles)
 	if cfg.MetricsOut != "" && res.Metrics != nil {
 		if err := res.Metrics.WriteFile(cfg.MetricsOut); err != nil {
+			return res, err
+		}
+	}
+	if cfg.SpanOut != "" && res.Spans != nil {
+		if err := res.Spans.WriteFile(cfg.SpanOut); err != nil {
 			return res, err
 		}
 	}
@@ -375,12 +399,28 @@ func (m *Machine) access(site int, va mem.Addr, isLoad bool) {
 		kind = mem.Read
 	}
 	pc := pcForSite(site)
+	sampled := m.spans != nil && m.spans.tr.Take()
 	m.core.IssueMem(isLoad, func(at uint64) mem.Result {
-		return m.l1d.Access(pa, kind, at, pc)
+		// Epoch samples are taken at the op's true issue cycle BEFORE the
+		// op executes, so an access issuing exactly on an EpochCycles
+		// multiple lands in the new epoch, not the boundary snapshot.
+		if m.sampler != nil {
+			m.sampleEpochsAt(at)
+		}
+		if sampled {
+			m.spanBegin(kind, pa, pc, at)
+		}
+		r := m.l1d.Access(pa, kind, at, pc)
+		if sampled {
+			m.spans.curRes = r
+		}
+		return r
 	})
 	m.drainPrefetchers()
-	if m.sampler != nil {
-		m.sampleEpochs()
+	if sampled {
+		// The window stays open through drainPrefetchers so prefetch
+		// issue/throttle decisions triggered by this access attach.
+		m.spanFinish()
 	}
 	if m.yield != nil {
 		m.yield(m.core.Now())
@@ -389,10 +429,12 @@ func (m *Machine) access(site int, va mem.Addr, isLoad bool) {
 
 // Work implements workload.Program.
 func (m *Machine) Work(n int) {
-	m.core.Work(uint64(n))
 	if m.sampler != nil {
-		m.sampleEpochs()
+		// Pre-op tick (see access): a batch starting on a boundary belongs
+		// to the new epoch.
+		m.sampleEpochsAt(m.core.Now())
 	}
+	m.core.Work(uint64(n))
 	if m.yield != nil {
 		m.yield(m.core.Now())
 	}
@@ -457,6 +499,8 @@ func (m *Machine) drainPrefetchers() {
 			for _, r := range reqs {
 				m.l3.Access(r.Addr, mem.Prefetch, r.At, r.PC)
 			}
+		} else if m.spans != nil {
+			m.spanNoteThrottle(len(reqs))
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"xmem/internal/cache"
 	xm "xmem/internal/core"
 	"xmem/internal/dram"
+	"xmem/internal/hybrid"
 	"xmem/internal/mem"
 	"xmem/internal/obs"
 )
@@ -29,6 +30,7 @@ type EpochProgress struct {
 func (m *Machine) enableMetrics() {
 	m.reg = obs.NewRegistry()
 	m.attrib = obs.NewAtomTable()
+	m.lat = newLatencyState()
 	m.registerMetrics()
 	m.sampler = obs.NewSampler(m.reg, m.cfg.EpochCycles, m.attrib)
 
@@ -37,11 +39,22 @@ func (m *Machine) enableMetrics() {
 			m.attrib.PinEviction(m.resolveAtom(pa))
 		}
 	})
-	m.l3.SetUsefulObserver(func(pa mem.Addr, _ xm.AtomID) {
+	m.l3.SetUsefulObserver(func(pa mem.Addr, _ xm.AtomID, lead uint64) {
 		m.attrib.PrefetchUseful(m.resolveAtom(pa))
+		if lead > 0 {
+			m.lat.lead.Observe(lead)
+		}
 	})
+	for c, h := range map[*cache.Cache]*obs.Histogram{
+		m.l1d: &m.lat.l1d, m.l2: &m.lat.l2, m.l3: &m.lat.l3,
+	} {
+		h := h
+		c.SetLatencyObserver(func(_ mem.AccessKind, cycles uint64) {
+			h.Observe(cycles)
+		})
+	}
 	if m.xmemPf != nil {
-		m.xmemPf.SetIssueObserver(m.attrib.PrefetchIssued)
+		m.xmemPf.SetIssueObserver(m.observePrefetchIssue)
 	}
 }
 
@@ -51,21 +64,49 @@ type dramObservable interface {
 	SetObserver(dram.Observer)
 }
 
-// observeDRAM wires per-atom row-buffer attribution to the memory system.
-// Run calls it on single-core machines; on multi-core machines the
+// observeDRAM wires the memory system's scheduling observer into per-atom
+// row-buffer attribution, the per-layer/per-atom service-latency histograms,
+// and the span tracer's DRAM stage. Run calls it on single-core machines
+// whenever any of those consumers exist; on multi-core machines the
 // controller is shared and per-core attribution of its commands would be
-// ambiguous, so RunMulti leaves it unwired.
+// ambiguous, so RunMulti leaves it unwired (multicore spans carry cache
+// stages only).
 func (m *Machine) observeDRAM() {
 	o, ok := m.ctl.(dramObservable)
 	if !ok {
 		return
 	}
-	o.SetObserver(func(pa mem.Addr, kind mem.AccessKind, rowHit bool) {
-		id := m.resolveAtom(pa)
-		if rowHit {
-			m.attrib.RowHit(id)
-		} else {
-			m.attrib.RowMiss(id)
+	hyb, _ := m.ctl.(*hybrid.Memory)
+	o.SetObserver(func(pa mem.Addr, kind mem.AccessKind, rowHit bool, arrival, done uint64) {
+		tier := "dram"
+		if hyb != nil && hyb.TierOf(pa) == hybrid.TierNVM {
+			tier = "nvm"
+		}
+		if m.attrib != nil {
+			id := m.resolveAtom(pa)
+			if rowHit {
+				m.attrib.RowHit(id)
+			} else {
+				m.attrib.RowMiss(id)
+			}
+			if m.lat != nil && kind.IsDemand() {
+				lat := done - arrival
+				if tier == "nvm" {
+					m.lat.nvm.Observe(lat)
+				} else {
+					m.lat.dram.Observe(lat)
+				}
+				m.lat.atomObserve(id, lat)
+			}
+		}
+		if m.spans != nil && kind.IsDemand() {
+			if sp := m.spans.inflight[mem.LineIndex(pa)]; sp != nil {
+				outcome := "row-miss"
+				if rowHit {
+					outcome = "row-hit"
+				}
+				sp.AddStage(tier, outcome, "", arrival, done)
+			}
 		}
 	})
 }
@@ -103,10 +144,10 @@ func (m *Machine) recordRegionAtoms(va mem.Addr, size uint64, atom xm.AtomID) {
 	}
 }
 
-// sampleEpochs is the hot-path tick: called after every instruction batch
-// when metrics are on (the caller has already checked m.sampler != nil).
-func (m *Machine) sampleEpochs() {
-	now := m.core.Now()
+// sampleEpochsAt is the hot-path tick: called with an op's true issue cycle
+// before the op executes (the caller has already checked m.sampler != nil),
+// so exact-boundary issues attribute to the new epoch, not the old one.
+func (m *Machine) sampleEpochsAt(now uint64) {
 	epoch := m.sampler.Tick(now)
 	if epoch < 0 || m.cfg.OnEpoch == nil {
 		return
@@ -128,14 +169,18 @@ func (m *Machine) metricsReport(cycles uint64) (*obs.Report, []obs.AtomSummary) 
 		m.attrib.SetName(a.ID, a.Name)
 	}
 	perAtom := m.attrib.Summaries()
-	return &obs.Report{
+	rep := &obs.Report{
 		Schema:      obs.SchemaVersion,
 		Workload:    m.w.Name,
 		EpochCycles: m.sampler.EpochCycles(),
 		Counters:    m.reg.Names(),
 		Samples:     m.sampler.Samples(),
 		PerAtom:     perAtom,
-	}, perAtom
+	}
+	if m.lat != nil {
+		rep.Latency = m.lat.report(m.attrib.Name)
+	}
+	return rep, perAtom
 }
 
 // registerMetrics registers every subsystem's counters under the

@@ -241,3 +241,62 @@ func TestMetricsOutFormats(t *testing.T) {
 		})
 	}
 }
+
+// TestOnEpochWithoutMetrics: the -progress heartbeat must not require the
+// metrics machinery — a registry-less sampler detects boundaries only.
+func TestOnEpochWithoutMetrics(t *testing.T) {
+	cfg := testConfig()
+	cfg.EpochCycles = 1000
+	var got []EpochProgress
+	cfg.OnEpoch = func(p EpochProgress) { got = append(got, p) }
+	res := MustRun(cfg, streamWorkload(1024, 4))
+	if len(got) < 2 {
+		t.Fatalf("OnEpoch fired %d times without Metrics, want several", len(got))
+	}
+	for _, p := range got {
+		if p.Cycle == 0 || p.IPC <= 0 {
+			t.Errorf("empty heartbeat: %+v", p)
+		}
+	}
+	if res.Metrics != nil || res.PerAtom != nil {
+		t.Errorf("heartbeat-only run produced a metrics report: %+v", res.Metrics)
+	}
+}
+
+// TestMetricsLatencySection: with Metrics on, the report carries per-layer
+// service-latency histograms whose summaries pass the validator's checks.
+// The gemm thrash point exercises both ends: tile reuse hits in L1 while
+// evicted lines demand-miss all the way to DRAM. (A pure stream would not:
+// the stride prefetcher covers it, so DRAM sees prefetch-kind fills and the
+// demand histogram stays near-empty.)
+func TestMetricsLatencySection(t *testing.T) {
+	cfg := thrashConfig()
+	cfg.Metrics = true
+	cfg.EpochCycles = 10_000
+	res := MustRun(cfg, gemmThrash())
+	r := res.Metrics
+	if r == nil || r.Latency == nil {
+		t.Fatal("no latency section")
+	}
+	byName := map[string]obs.HistSummary{}
+	for _, l := range r.Latency.Layers {
+		byName[l.Name] = l
+	}
+	for _, name := range []string{"cache.l1d.hit_service", "dram.ctl.demand_service"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("layer %q missing (have %v)", name, r.Latency.Layers)
+		}
+		if s.Count == 0 || s.P50 > s.P99 || s.P99 > s.Max {
+			t.Errorf("layer %q summary = %+v", name, s)
+		}
+	}
+	// L1 hits resolve in the lookup latency; DRAM service is far slower.
+	if byName["cache.l1d.hit_service"].P50 >= byName["dram.ctl.demand_service"].P50 {
+		t.Errorf("L1 p50 %d not below DRAM p50 %d",
+			byName["cache.l1d.hit_service"].P50, byName["dram.ctl.demand_service"].P50)
+	}
+	if len(r.Latency.PerAtom) == 0 {
+		t.Error("no per-atom latency rows")
+	}
+}

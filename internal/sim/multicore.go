@@ -49,7 +49,9 @@ type MultiResult struct {
 	// shared controller's machine-wide totals. With Config.Metrics each
 	// core carries its own Metrics/PerAtom report (private-hierarchy events
 	// only: shared-controller DRAM commands are not attributed, because
-	// per-core ownership of a shared-bank command is ambiguous).
+	// per-core ownership of a shared-bank command is ambiguous). For the
+	// same reason spans from Config.SpanSample carry AMU and cache stages
+	// but no dram/nvm stage on multi-core machines.
 	Cores []Result
 	// Cycles is the finishing time of the slowest core.
 	Cycles uint64

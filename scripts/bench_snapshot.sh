@@ -1,0 +1,112 @@
+#!/bin/sh
+# bench_snapshot.sh — record the span tracer's overhead envelope.
+#
+# Runs the Figure 4 thrash point (gemm n96, 256 KiB tile, XMem system)
+# through the top-level benchmarks four ways — spans compiled in but
+# disabled, 1-in-1000 sampling, 1-in-10 sampling, and the span-less
+# BenchmarkFig4XMemThrash reference — and writes BENCH_span.json in the
+# same shape as BENCH_obs.json: raw ns/op per run, the median, and a
+# summary comparing the disabled case against the reference.
+#
+# The disabled case is the shipped default; it must stay within 2% of the
+# reference (the two configurations differ only by an untaken nil-check
+# branch on the access path). Exits non-zero if it does not.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+GO=${GO:-go}
+OUT=${BENCH_SNAPSHOT_OUT:-"$ROOT/BENCH_span.json"}
+COUNT=${BENCH_SNAPSHOT_COUNT:-5}
+BENCHTIME=${BENCH_SNAPSHOT_BENCHTIME:-10x}
+RAW=$(mktemp /tmp/xmem_bench_span.XXXXXX)
+trap 'rm -f "$RAW"' EXIT
+
+# One round runs every benchmark once; rounds interleave so a drifting
+# background load biases all four cases equally instead of penalizing
+# whichever benchmark -count scheduling happens to run last.
+echo "== $COUNT rounds of go test -bench 'BenchmarkSpan|BenchmarkFig4XMemThrash' -benchtime $BENCHTIME"
+i=0
+while [ "$i" -lt "$COUNT" ]; do
+	i=$((i + 1))
+	echo "== round $i/$COUNT"
+	(cd "$ROOT" && $GO test -run xxx \
+		-bench 'BenchmarkSpan|BenchmarkFig4XMemThrash' \
+		-benchtime "$BENCHTIME" -count 1 .) | tee -a "$RAW"
+done
+
+host="unknown"
+if [ -r /proc/cpuinfo ]; then
+	host=$(awk -F': ' '/^model name/ { print $2; exit }' /proc/cpuinfo)
+fi
+host="$host, $($GO env GOOS)/$($GO env GOARCH)"
+
+awk -v date="$(date +%F)" -v host="$host" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") {
+			vals[name] = vals[name] " " $(i - 1)
+			n[name]++
+		}
+	}
+}
+function median(name,    m, arr, i, tmp, j, t) {
+	m = split(vals[name], arr, " ")
+	for (i = 2; i <= m; i++) {        # insertion sort: counts are tiny
+		t = arr[i] + 0
+		for (j = i - 1; j >= 1 && arr[j] + 0 > t; j--) arr[j + 1] = arr[j]
+		arr[j + 1] = t
+	}
+	return arr[int((m + 1) / 2)] + 0
+}
+function runs(name,    m, arr, i, s) {
+	m = split(vals[name], arr, " ")
+	s = ""
+	for (i = 1; i <= m; i++) s = s (i > 1 ? ", " : "") arr[i]
+	return s
+}
+function block(name, note,    s) {
+	s = "    \"" name "\": {\n"
+	if (note != "") s = s "      \"note\": \"" note "\",\n"
+	s = s "      \"ns_per_op\": [" runs(name) "],\n"
+	s = s "      \"median_ns_per_op\": " median(name) "\n    }"
+	return s
+}
+END {
+	base = median("BenchmarkFig4XMemThrash")
+	dis = median("BenchmarkSpanDisabled")
+	s1000 = median("BenchmarkSpan1in1000")
+	s10 = median("BenchmarkSpan1in10")
+	if (base == 0 || dis == 0 || s1000 == 0 || s10 == 0) {
+		print "bench_snapshot: missing benchmark results" > "/dev/stderr"
+		exit 1
+	}
+	dpct = 100 * (dis - base) / base
+	p1000 = 100 * (s1000 - dis) / dis
+	p10 = 100 * (s10 - dis) / dis
+	printf "{\n"
+	printf "  \"description\": \"Span-tracer overhead snapshot: Figure 4 thrash point (gemm n96, 256 KiB tile, XMem system) run via the top-level benchmarks. SpanDisabled is the shipped default (tracer compiled in, Config.SpanSample=0, one nil-check on the access path); the sampled rates add Peek-only harvest sweeps per traced access. Regenerate with: make bench-snapshot.\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"host\": \"%s\",\n", host
+	printf "  \"benchmarks\": {\n"
+	printf "%s,\n", block("BenchmarkFig4XMemThrash", "span-less reference (no SpanSample field set)")
+	printf "%s,\n", block("BenchmarkSpanDisabled", "")
+	printf "%s,\n", block("BenchmarkSpan1in1000", "")
+	printf "%s\n", block("BenchmarkSpan1in10", "")
+	printf "  },\n"
+	printf "  \"summary\": {\n"
+	printf "    \"disabled_vs_baseline_pct\": %.1f,\n", dpct
+	printf "    \"sample_1in1000_vs_disabled_pct\": %.1f,\n", p1000
+	printf "    \"sample_1in10_vs_disabled_pct\": %.1f\n", p10
+	printf "  }\n"
+	printf "}\n"
+	if (dpct > 2 || dpct < -10) {
+		printf "bench_snapshot: SpanDisabled median %d is %.1f%% off the reference %d (limit +2%%)\n", \
+			dis, dpct, base > "/dev/stderr"
+		exit 1
+	}
+}
+' "$RAW" > "$OUT"
+
+echo "== wrote $OUT"
