@@ -4,8 +4,9 @@
 GO ?= go
 
 .PHONY: all build test test-short vet xmem-vet vet-json infer-validate lint \
-        fmtcheck check bench bench-snapshot race sweep-smoke metrics-smoke \
-        trace-smoke experiments experiments-paper examples clean
+        fmtcheck check bench bench-snapshot bench-hotpath alloc-gate race \
+        sweep-smoke metrics-smoke trace-smoke experiments experiments-paper \
+        examples clean
 
 all: build vet test
 
@@ -45,7 +46,23 @@ fmtcheck:
 lint: vet fmtcheck vet-json
 	$(GO) test -race ./internal/core/... ./internal/sim/...
 
-check: build vet test race metrics-smoke trace-smoke sweep-smoke
+check: build vet test race alloc-gate metrics-smoke trace-smoke sweep-smoke
+
+# Allocs/op regression gate for the AMU lookup path: AMU.Lookup, Peek, and
+# LookupAttributes must be allocation-free in steady state on the ALB-hit,
+# miss+evict, and unmapped-page paths (testing.AllocsPerRun == 0). The
+# deterministic twin of the bench-hotpath snapshot, cheap enough for every
+# check/CI run.
+alloc-gate:
+	$(GO) test -run 'TestHotPath' -v ./internal/core/
+
+# Record the lookup hot path's cost envelope (BENCH_hotpath.json): the
+# allocation-audited micro-benchmarks vs the pre-rewrite reference models
+# in the same interleaved run, medians, a 0 allocs/op gate, and — with
+# BENCH_HOTPATH_REF_DIR set to a pre-rewrite checkout — a paired,
+# significance-tested Fig-4 end-to-end comparison.
+bench-hotpath:
+	sh scripts/bench_hotpath.sh
 
 # Full race-detector pass over every package (the parallel sweep runner
 # is the main concurrent surface).

@@ -47,12 +47,15 @@ type identity struct{}
 func (identity) Translate(va mem.Addr) (mem.Addr, bool) { return va, true }
 
 // BenchmarkAMULookup measures the §4.2 ATOM_LOOKUP path through the ALB.
+// ReportAllocs is part of the hot-path contract: steady state must be 0
+// allocs/op (see make alloc-gate and scripts/bench_hotpath.sh).
 func BenchmarkAMULookup(b *testing.B) {
 	amu := xm.NewAMU(identity{}, xm.AMUConfig{})
 	lib := xm.NewLib(amu)
 	id := lib.CreateAtom("bench.atom", xm.Attributes{})
 	lib.AtomMap(id, 0, 1<<20)
 	lib.AtomActivate(id)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		amu.Lookup(mem.Addr(i*64) % (1 << 20))

@@ -9,45 +9,85 @@ import (
 // (§4.2), giving a 0.2% storage overhead with 8-bit atom IDs.
 const DefaultGranularityBytes = 512
 
+// maxDirectPages bounds the dense page directory: pages below this index
+// (the first 8 GiB of physical address space) live in a flat slice grown on
+// demand, so Lookup is two array indexes — the software twin of the
+// hardware AAM being a flat PA-indexed array (§4.2). Pages at or above the
+// bound (synthetic far-flung test addresses) fall back to a sparse map off
+// the hot path.
+const maxDirectPages = 1 << 21
+
+// aamPage holds one physical page's worth of chunk→atom associations: the
+// unit an ALB entry caches, and the unit the directory allocates.
+type aamPage struct {
+	// atoms has one entry per AAM chunk in the page; unmapped chunks hold
+	// InvalidAtom.
+	atoms []AtomID
+	// mapped counts entries != InvalidAtom, so page teardown can skip the
+	// scan and UnmapAll can skip fully-empty pages.
+	mapped int
+}
+
 // AAM is the Atom Address Map (§4.2 component 1): it resolves a physical
 // address to the atom (if any) most recently mapped over it. The map is
 // approximate — each granularity-sized chunk maps to at most one atom — and
 // purely supplemental, so imprecision can affect only optimization quality,
 // never correctness.
+//
+// Layout: a two-level paged directory (page index → per-page chunk array)
+// instead of a hash map, so the per-access Lookup is two array indexes with
+// no hashing, no allocation, and no interface boxing. See DESIGN.md, "Hot
+// path".
 type AAM struct {
 	granBytes uint64
 	granShift uint
-	// chunks maps chunk index (PA >> granShift) to atom ID.
-	chunks map[uint64]AtomID
+	// chunksPerPage = PageBytes / granBytes; granularity is capped at the
+	// page size so every page has at least one chunk.
+	chunksPerPage uint64
+	// dir is the dense directory, indexed by page index, grown on demand.
+	// A nil entry means no chunk in the page is mapped (or the page was
+	// never touched).
+	dir []*aamPage
+	// overflow holds pages with index >= maxDirectPages.
+	overflow map[uint64]*aamPage
 	// mappedChunks counts chunks currently mapped per atom; the working
 	// set size of an atom is inferred from it (§3.3 class 3).
 	mappedChunks map[AtomID]uint64
+	// freePages pools pages dropped by the last unmap of their chunks. A
+	// pooled page is all-InvalidAtom by construction (mapped == 0), so
+	// reuse needs no clearing and map/unmap churn settles to zero
+	// allocations.
+	freePages []*aamPage
 }
 
 // NewAAM returns an AAM with the given chunk granularity, which must be a
-// power of two and at least one cache line. Pass 0 for the paper default
-// (512 B).
+// power of two between one cache line and one page. Pass 0 for the paper
+// default (512 B).
 func NewAAM(granBytes uint64) *AAM {
 	if granBytes == 0 {
 		granBytes = DefaultGranularityBytes
 	}
-	if granBytes < mem.LineBytes || granBytes&(granBytes-1) != 0 {
-		panic("core: AAM granularity must be a power of two >= the line size")
+	if granBytes < mem.LineBytes || granBytes > mem.PageBytes || granBytes&(granBytes-1) != 0 {
+		panic("core: AAM granularity must be a power of two in [line size, page size]")
 	}
 	shift := uint(0)
 	for g := granBytes; g > 1; g >>= 1 {
 		shift++
 	}
 	return &AAM{
-		granBytes:    granBytes,
-		granShift:    shift,
-		chunks:       make(map[uint64]AtomID),
-		mappedChunks: make(map[AtomID]uint64),
+		granBytes:     granBytes,
+		granShift:     shift,
+		chunksPerPage: uint64(mem.PageBytes) / granBytes,
+		mappedChunks:  make(map[AtomID]uint64),
 	}
 }
 
 // GranularityBytes returns the chunk size.
 func (m *AAM) GranularityBytes() uint64 { return m.granBytes }
+
+// ChunksPerPage returns the number of AAM chunks in one page — the length
+// of every PageAtoms result and of every ALB entry's data array.
+func (m *AAM) ChunksPerPage() int { return int(m.chunksPerPage) }
 
 // chunkRange returns the inclusive first and exclusive last chunk index
 // covered by [pa, pa+size).
@@ -60,19 +100,90 @@ func (m *AAM) chunkRange(pa mem.Addr, size uint64) (first, last uint64) {
 	return first, last
 }
 
+// page returns the directory entry for pageIdx, or nil when no chunk in the
+// page has ever been mapped. This is the AMU's ALB-miss walk: one bounds
+// check and one index on the dense path.
+func (m *AAM) page(pageIdx uint64) *aamPage {
+	if pageIdx < uint64(len(m.dir)) {
+		return m.dir[pageIdx]
+	}
+	if pageIdx >= maxDirectPages {
+		return m.overflow[pageIdx]
+	}
+	return nil
+}
+
+// ensurePage returns the directory entry for pageIdx, allocating the page
+// (and growing the dense directory) if needed. Only Map reaches this.
+func (m *AAM) ensurePage(pageIdx uint64) *aamPage {
+	if p := m.page(pageIdx); p != nil {
+		return p
+	}
+	var p *aamPage
+	if n := len(m.freePages); n > 0 {
+		p = m.freePages[n-1]
+		m.freePages[n-1] = nil
+		m.freePages = m.freePages[:n-1]
+	} else {
+		p = &aamPage{atoms: make([]AtomID, m.chunksPerPage)}
+		for i := range p.atoms {
+			p.atoms[i] = InvalidAtom
+		}
+	}
+	if pageIdx < maxDirectPages {
+		if pageIdx >= uint64(len(m.dir)) {
+			grown := make([]*aamPage, pageIdx+1)
+			copy(grown, m.dir)
+			m.dir = grown
+		}
+		m.dir[pageIdx] = p
+	} else {
+		if m.overflow == nil {
+			m.overflow = make(map[uint64]*aamPage)
+		}
+		m.overflow[pageIdx] = p
+	}
+	return p
+}
+
+// dropIfEmpty frees the page's directory slot once its last chunk unmaps,
+// so a long-running sim's directory tracks the live footprint.
+func (m *AAM) dropIfEmpty(pageIdx uint64, p *aamPage) {
+	if p.mapped != 0 {
+		return
+	}
+	if pageIdx < uint64(len(m.dir)) {
+		m.dir[pageIdx] = nil
+	} else {
+		delete(m.overflow, pageIdx)
+	}
+	m.freePages = append(m.freePages, p)
+}
+
+// chunkPage splits a global chunk index into its page and the chunk's slot
+// within that page.
+func (m *AAM) chunkPage(c uint64) (pageIdx, slot uint64) {
+	perPage := m.chunksPerPage
+	return c / perPage, c % perPage
+}
+
 // Map associates every chunk overlapping [pa, pa+size) with atom id,
 // displacing any previous association (the many-to-one VA-atom invariant of
 // §3.2: a chunk maps to at most one atom at a time).
 func (m *AAM) Map(pa mem.Addr, size uint64, id AtomID) {
 	first, last := m.chunkRange(pa, size)
 	for c := first; c < last; c++ {
-		if prev, ok := m.chunks[c]; ok {
+		pageIdx, slot := m.chunkPage(c)
+		p := m.ensurePage(pageIdx)
+		if prev := p.atoms[slot]; prev != InvalidAtom {
 			if prev == id {
 				continue
 			}
 			m.decMapped(prev)
+			p.mapped--
 		}
-		m.chunks[c] = id
+		p.atoms[slot] = id
+		p.mapped++
 		m.mappedChunks[id]++
 	}
 }
@@ -83,22 +194,76 @@ func (m *AAM) Map(pa mem.Addr, size uint64, id AtomID) {
 func (m *AAM) Unmap(pa mem.Addr, size uint64, id AtomID) {
 	first, last := m.chunkRange(pa, size)
 	for c := first; c < last; c++ {
-		if cur, ok := m.chunks[c]; ok && cur == id {
-			delete(m.chunks, c)
+		pageIdx, slot := m.chunkPage(c)
+		p := m.page(pageIdx)
+		if p == nil {
+			continue
+		}
+		if p.atoms[slot] == id {
+			p.atoms[slot] = InvalidAtom
+			p.mapped--
 			m.decMapped(id)
+			m.dropIfEmpty(pageIdx, p)
 		}
 	}
 }
 
-// UnmapAll removes every chunk mapped to atom id. It supports program-phase
-// transitions that retire an atom wholesale.
-func (m *AAM) UnmapAll(id AtomID) {
-	for c, cur := range m.chunks {
-		if cur == id {
-			delete(m.chunks, c)
+// UnmapAll removes every chunk mapped to atom id and returns the removed
+// physical ranges, coalesced and base-sorted, at chunk granularity. It
+// supports program-phase transitions that retire an atom wholesale.
+//
+// Callers on the AMU path must not invoke this directly: it bypasses ALB
+// invalidation and the mapping broadcast, leaving stale ALB entries that
+// the invariant checker flags as structural violations. Use
+// AMU.ExecUnmapAll, which consumes the returned ranges to invalidate the
+// affected ALB pages and notify listeners.
+func (m *AAM) UnmapAll(id AtomID) []PARange {
+	if m.mappedChunks[id] == 0 {
+		return nil
+	}
+	var runs []PARange
+	appendChunk := func(c uint64) {
+		base := mem.Addr(c << m.granShift)
+		if k := len(runs); k > 0 && runs[k-1].End() == base {
+			runs[k-1].Size += m.granBytes
+		} else {
+			runs = append(runs, PARange{Base: base, Size: m.granBytes})
+		}
+	}
+	sweep := func(pageIdx uint64, p *aamPage) {
+		if p == nil || p.mapped == 0 {
+			return
+		}
+		for slot := uint64(0); slot < m.chunksPerPage; slot++ {
+			if p.atoms[slot] == id {
+				p.atoms[slot] = InvalidAtom
+				p.mapped--
+				appendChunk(pageIdx*m.chunksPerPage + slot)
+			}
+		}
+		m.dropIfEmpty(pageIdx, p)
+	}
+	for pageIdx, p := range m.dir {
+		sweep(uint64(pageIdx), p)
+	}
+	if m.overflow != nil {
+		// Overflow pages are visited in sorted order so the returned runs
+		// are deterministic regardless of map iteration order.
+		keys := make([]uint64, 0, len(m.overflow))
+		for k := range m.overflow {
+			keys = append(keys, k)
+		}
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		for _, k := range keys {
+			sweep(k, m.overflow[k])
 		}
 	}
 	delete(m.mappedChunks, id)
+	return runs
 }
 
 func (m *AAM) decMapped(id AtomID) {
@@ -109,10 +274,15 @@ func (m *AAM) decMapped(id AtomID) {
 	}
 }
 
-// Lookup returns the atom mapped over physical address pa, if any.
+// Lookup returns the atom mapped over physical address pa, if any. This is
+// the per-access hot path: two array indexes, no allocation.
 func (m *AAM) Lookup(pa mem.Addr) (AtomID, bool) {
-	id, ok := m.chunks[uint64(pa)>>m.granShift]
-	return id, ok
+	p := m.page(uint64(pa) >> mem.PageShift)
+	if p == nil {
+		return InvalidAtom, false
+	}
+	id := p.atoms[mem.PageOffset(pa)>>m.granShift]
+	return id, id != InvalidAtom
 }
 
 // MappedBytes returns the number of bytes currently mapped to atom id,
@@ -123,6 +293,9 @@ func (m *AAM) MappedBytes(id AtomID) uint64 {
 }
 
 // MappedAtoms returns the IDs of all atoms with at least one mapped chunk.
+// It allocates a fresh slice per call and is meant for OS-layer policy
+// (pin-controller recomputes) and introspection, never the per-access hot
+// path — use Lookup there.
 func (m *AAM) MappedAtoms() []AtomID {
 	ids := make([]AtomID, 0, len(m.mappedChunks))
 	for id := range m.mappedChunks {
@@ -133,19 +306,26 @@ func (m *AAM) MappedAtoms() []AtomID {
 
 // PageAtoms returns the atom ID of each chunk in the page containing pa, in
 // chunk order. A chunk with no atom reports InvalidAtom. This is the unit an
-// ALB entry caches (§4.2: "the data are the Atom IDs in the physical pages").
+// ALB entry caches (§4.2: "the data are the Atom IDs in the physical
+// pages"). It allocates a fresh slice per call; the AMU's ALB-miss path
+// instead hands the ALB the page's own array to copy from (see AMU.Lookup),
+// and allocation-sensitive callers should use PageAtomsInto.
 func (m *AAM) PageAtoms(pa mem.Addr) []AtomID {
-	chunksPerPage := uint64(mem.PageBytes) / m.granBytes
-	base := (uint64(pa) >> mem.PageShift) * chunksPerPage
-	ids := make([]AtomID, chunksPerPage)
-	for i := range ids {
-		if id, ok := m.chunks[base+uint64(i)]; ok {
-			ids[i] = id
-		} else {
-			ids[i] = InvalidAtom
-		}
+	return m.PageAtomsInto(pa, nil)
+}
+
+// PageAtomsInto appends the page's chunk atom IDs to dst (resliced to
+// length 0 first) and returns it, reusing dst's capacity so a caller-owned
+// buffer makes repeated snapshots allocation-free.
+func (m *AAM) PageAtomsInto(pa mem.Addr, dst []AtomID) []AtomID {
+	dst = dst[:0]
+	if p := m.page(uint64(pa) >> mem.PageShift); p != nil {
+		return append(dst, p.atoms...)
 	}
-	return ids
+	for i := uint64(0); i < m.chunksPerPage; i++ {
+		dst = append(dst, InvalidAtom)
+	}
+	return dst
 }
 
 // StorageOverheadBytes returns the memory the AAM would occupy in hardware

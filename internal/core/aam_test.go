@@ -16,7 +16,7 @@ func TestAAMDefaultGranularity(t *testing.T) {
 }
 
 func TestAAMRejectsBadGranularity(t *testing.T) {
-	for _, g := range []uint64{3, 48, 96, 511, mem.LineBytes / 2} {
+	for _, g := range []uint64{3, 48, 96, 511, mem.LineBytes / 2, 2 * mem.PageBytes} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -140,6 +140,173 @@ func TestAAMPageAtoms(t *testing.T) {
 			t.Errorf("chunk %d = %d, want InvalidAtom", i, atoms[i])
 		}
 	}
+}
+
+// TestAAMOverflowPages exercises the sparse fallback for pages beyond the
+// dense directory (synthetic far-flung physical addresses).
+func TestAAMOverflowPages(t *testing.T) {
+	m := NewAAM(512)
+	far := mem.Addr(maxDirectPages) << mem.PageShift // first overflow page
+	m.Map(far+0x200, 1024, 3)
+	if id, ok := m.Lookup(far + 0x200); !ok || id != 3 {
+		t.Fatalf("overflow Lookup = %d,%v want 3,true", id, ok)
+	}
+	if id, ok := m.Lookup(far + 0x5FF); !ok || id != 3 {
+		t.Fatalf("overflow tail chunk = %d,%v want 3,true", id, ok)
+	}
+	if _, ok := m.Lookup(far + 0x800); ok {
+		t.Fatal("unmapped overflow chunk resolves")
+	}
+	if got := m.MappedBytes(3); got != 1024 {
+		t.Fatalf("MappedBytes = %d, want 1024 (chunks 1-2)", got)
+	}
+	atoms := m.PageAtoms(far)
+	if atoms[1] != 3 || atoms[2] != 3 || atoms[0] != InvalidAtom {
+		t.Fatalf("overflow PageAtoms = %v", atoms)
+	}
+	m.Unmap(far, mem.PageBytes, 3)
+	if _, ok := m.Lookup(far + 0x200); ok {
+		t.Fatal("overflow chunk survives unmap")
+	}
+	// The dense directory must not have been grown toward the far page.
+	if len(m.dir) != 0 {
+		t.Fatalf("dense directory grew to %d pages for an overflow-only mapping", len(m.dir))
+	}
+}
+
+// TestAAMDirectoryShrinksToFootprint: unmapping a page's last chunk frees
+// its directory slot, so a long-running sim's AAM tracks the live footprint.
+func TestAAMDirectoryShrinksToFootprint(t *testing.T) {
+	m := NewAAM(512)
+	m.Map(0x1000, mem.PageBytes, 1)
+	if m.page(1) == nil {
+		t.Fatal("page 1 not resident after map")
+	}
+	m.Unmap(0x1000, mem.PageBytes, 1)
+	if m.page(1) != nil {
+		t.Fatal("page 1 still resident after its last chunk unmapped")
+	}
+	// PageAtoms of a dropped page is all-invalid, not a panic.
+	for i, id := range m.PageAtoms(0x1000) {
+		if id != InvalidAtom {
+			t.Fatalf("chunk %d = %d after teardown", i, id)
+		}
+	}
+}
+
+// TestAAMPageAtomsInto: the caller-owned buffer is reused across calls, so
+// repeated snapshots are allocation-free.
+func TestAAMPageAtomsInto(t *testing.T) {
+	m := NewAAM(512)
+	m.Map(0x1000, 512, 4)
+	buf := make([]AtomID, 0, mem.PageBytes/512)
+	got := m.PageAtomsInto(0x1000, buf)
+	if &got[0] != &buf[:1][0] {
+		t.Error("PageAtomsInto did not reuse the caller's buffer")
+	}
+	if got[0] != 4 || got[1] != InvalidAtom {
+		t.Fatalf("PageAtomsInto = %v", got)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = m.PageAtomsInto(0x1000, buf)
+	}); allocs != 0 {
+		t.Errorf("PageAtomsInto allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestAAMPagedDirectoryAgainstOracle is the paged-layout property test: a
+// randomized stream of overlapping, unaligned, page-spanning Map/Unmap/
+// UnmapAll ops against a plain chunk-map oracle derived from the §4.2 spec
+// (a chunk maps to the atom most recently mapped over any byte of it),
+// asserting Lookup, MappedBytes, and PageAtoms agree — across both the
+// dense directory and the overflow region.
+func TestAAMPagedDirectoryAgainstOracle(t *testing.T) {
+	const gran = 512
+	const chunksPerPage = uint64(mem.PageBytes / gran)
+	// Page universe: dense low pages plus overflow pages.
+	pages := []uint64{0, 1, 2, 3, 5, 8, 13, maxDirectPages, maxDirectPages + 2}
+	rng := rand.New(rand.NewSource(7))
+	m := NewAAM(gran)
+	oracle := make(map[uint64]AtomID) // chunk index -> atom
+
+	oracleRange := func(base mem.Addr, size uint64) (uint64, uint64) {
+		if size == 0 {
+			return uint64(base) / gran, uint64(base) / gran
+		}
+		first := uint64(base) / gran
+		last := (uint64(base) + size + gran - 1) / gran
+		return first, last
+	}
+	checkAll := func(step int) {
+		t.Helper()
+		for _, page := range pages {
+			base := mem.Addr(page << mem.PageShift)
+			var wantPage [chunksPerPage]AtomID
+			for c := uint64(0); c < chunksPerPage; c++ {
+				chunk := page*chunksPerPage + c
+				want, wantOK := oracle[chunk]
+				got, gotOK := m.Lookup(base + mem.Addr(c*gran))
+				if wantOK != gotOK || (wantOK && want != got) {
+					t.Fatalf("step %d: Lookup(page %#x chunk %d) = %d,%v want %d,%v",
+						step, page, c, got, gotOK, want, wantOK)
+				}
+				if wantOK {
+					wantPage[c] = want
+				} else {
+					wantPage[c] = InvalidAtom
+				}
+			}
+			gotPage := m.PageAtoms(base)
+			for c := range gotPage {
+				if gotPage[c] != wantPage[c] {
+					t.Fatalf("step %d: PageAtoms(page %#x)[%d] = %d, want %d",
+						step, page, c, gotPage[c], wantPage[c])
+				}
+			}
+		}
+		counts := make(map[AtomID]uint64)
+		for _, id := range oracle {
+			counts[id]++
+		}
+		for id := AtomID(0); id < 8; id++ {
+			if got, want := m.MappedBytes(id), counts[id]*gran; got != want {
+				t.Fatalf("step %d: MappedBytes(%d) = %d, want %d", step, id, got, want)
+			}
+		}
+	}
+
+	for step := 0; step < 1500; step++ {
+		page := pages[rng.Intn(len(pages))]
+		base := mem.Addr(page<<mem.PageShift | uint64(rng.Intn(mem.PageBytes)))
+		size := uint64(rng.Intn(2 * mem.PageBytes)) // unaligned, may span pages
+		id := AtomID(rng.Intn(8))
+		first, last := oracleRange(base, size)
+		switch op := rng.Intn(10); {
+		case op < 6:
+			m.Map(base, size, id)
+			for c := first; c < last; c++ {
+				oracle[c] = id
+			}
+		case op < 9:
+			m.Unmap(base, size, id)
+			for c := first; c < last; c++ {
+				if oracle[c] == id {
+					delete(oracle, c)
+				}
+			}
+		default:
+			m.UnmapAll(id)
+			for c, cur := range oracle {
+				if cur == id {
+					delete(oracle, c)
+				}
+			}
+		}
+		if step%100 == 0 {
+			checkAll(step)
+		}
+	}
+	checkAll(-1)
 }
 
 func TestAAMStorageOverhead(t *testing.T) {

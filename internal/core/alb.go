@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/list"
-
 	"xmem/internal/mem"
 )
 
@@ -10,23 +8,44 @@ import (
 // covers 98.9% of ATOM_LOOKUP requests (§4.2).
 const DefaultALBEntries = 256
 
-// ALB is the Atom Lookaside Buffer: a small fully-associative LRU cache of
-// AAM lookups, analogous to a TLB in an MMU (§4.2). Tags are physical page
-// indexes; data are the atom IDs of the chunks in the page. The AMU accesses
-// the AAM only on ALB misses.
-type ALB struct {
-	entries  int
-	lru      *list.List // front = most recently used; values are *albEntry
-	byPage   map[uint64]*list.Element
-	hits     uint64
-	misses   uint64
-	flushes  uint64
-	invalids uint64
+// albNil terminates the intrusive LRU and free lists.
+const albNil = int32(-1)
+
+// albSlot is one ALB entry in the flat slot array. The LRU chain is
+// intrusive (prev/next are slot indexes), and the atoms slice is owned by
+// the slot and reused across evictions, so fills and hits never allocate
+// or box.
+type albSlot struct {
+	page       uint64
+	prev, next int32
+	atoms      []AtomID // one per AAM chunk in the page; slot-owned copy
 }
 
-type albEntry struct {
-	page  uint64
-	atoms []AtomID // one per AAM chunk in the page
+// ALB is the Atom Lookaside Buffer: a small fully-associative exact-LRU
+// cache of AAM lookups, analogous to a TLB in an MMU (§4.2). Tags are
+// physical page indexes; data are the atom IDs of the chunks in the page.
+// The AMU accesses the AAM only on ALB misses.
+//
+// Layout: a flat slot array with an intrusive index-linked LRU list and a
+// page→slot index map, replacing the earlier container/list + pointer map —
+// the list nodes and interface boxing of that layout allocated on every
+// fill and defeated cache locality on every hit. Exact LRU is kept (not
+// clock or pseudo-LRU) because the modeled hit/miss stream, and therefore
+// every simulated cycle count, must be bit-identical to the reference
+// model; see DESIGN.md, "Hot path".
+type ALB struct {
+	entries int
+	slots   []albSlot
+	byPage  map[uint64]int32
+	// head is the most recently used slot, tail the least; free chains
+	// never-used and invalidated slots through next.
+	head, tail, free int32
+	used             int
+	hits             uint64
+	misses           uint64
+	flushes          uint64
+	invalids         uint64
+	evictions        uint64
 }
 
 // NewALB returns an ALB with the given entry count (0 = the 256-entry
@@ -35,46 +54,120 @@ func NewALB(entries int) *ALB {
 	if entries <= 0 {
 		entries = DefaultALBEntries
 	}
-	return &ALB{
+	b := &ALB{
 		entries: entries,
-		lru:     list.New(),
-		byPage:  make(map[uint64]*list.Element, entries),
+		slots:   make([]albSlot, entries),
+		byPage:  make(map[uint64]int32, entries),
+	}
+	b.resetLists()
+	return b
+}
+
+// resetLists empties the LRU list and chains every slot onto the free list.
+// Slot-owned atom storage is kept for reuse.
+func (b *ALB) resetLists() {
+	b.head, b.tail = albNil, albNil
+	b.used = 0
+	for i := range b.slots {
+		b.slots[i].next = int32(i) + 1
+		b.slots[i].prev = albNil
+	}
+	b.slots[len(b.slots)-1].next = albNil
+	b.free = 0
+}
+
+// unlink removes slot i from the LRU list.
+func (b *ALB) unlink(i int32) {
+	s := &b.slots[i]
+	if s.prev != albNil {
+		b.slots[s.prev].next = s.next
+	} else {
+		b.head = s.next
+	}
+	if s.next != albNil {
+		b.slots[s.next].prev = s.prev
+	} else {
+		b.tail = s.prev
 	}
 }
 
-// Lookup returns the cached atom IDs for the page containing pa, or nil on
-// a miss. chunkShift is the AAM granularity shift used to select the chunk
-// within the page.
+// pushFront makes slot i the most recently used.
+func (b *ALB) pushFront(i int32) {
+	s := &b.slots[i]
+	s.prev = albNil
+	s.next = b.head
+	if b.head != albNil {
+		b.slots[b.head].prev = i
+	}
+	b.head = i
+	if b.tail == albNil {
+		b.tail = i
+	}
+}
+
+// touch moves an already-resident slot to the front of the LRU list.
+func (b *ALB) touch(i int32) {
+	if b.head == i {
+		return
+	}
+	b.unlink(i)
+	b.pushFront(i)
+}
+
+// Lookup returns the cached atom ID for the chunk containing pa, or a miss
+// when the page is not resident. granBytes is the AAM granularity used to
+// select the chunk within the page. The three results are (id, mapped,
+// hit): a resident page whose chunk holds no atom is a hit with mapped ==
+// false.
 func (b *ALB) Lookup(pa mem.Addr, granBytes uint64) (AtomID, bool, bool) {
 	page := mem.PageIndex(pa)
-	el, ok := b.byPage[page]
+	i, ok := b.byPage[page]
 	if !ok {
 		b.misses++
 		return InvalidAtom, false, false
 	}
 	b.hits++
-	b.lru.MoveToFront(el)
-	e := el.Value.(*albEntry)
+	b.touch(i)
+	s := &b.slots[i]
 	idx := mem.PageOffset(pa) / granBytes
-	id := e.atoms[idx]
+	if idx >= uint64(len(s.atoms)) {
+		// A short fill left this chunk uncached: report the page hit but
+		// no atom rather than indexing out of range.
+		return InvalidAtom, false, true
+	}
+	id := s.atoms[idx]
 	return id, id != InvalidAtom, true
 }
 
 // Fill inserts the atom IDs for the page containing pa, evicting the least
-// recently used entry if the ALB is full.
+// recently used entry if the ALB is full. The atoms slice is copied into
+// slot-owned storage: the caller keeps ownership of its buffer, and
+// mutating it afterwards cannot alter ALB contents.
 func (b *ALB) Fill(pa mem.Addr, atoms []AtomID) {
 	page := mem.PageIndex(pa)
-	if el, ok := b.byPage[page]; ok {
-		el.Value.(*albEntry).atoms = atoms
-		b.lru.MoveToFront(el)
+	if i, ok := b.byPage[page]; ok {
+		s := &b.slots[i]
+		s.atoms = append(s.atoms[:0], atoms...)
+		b.touch(i)
 		return
 	}
-	if b.lru.Len() >= b.entries {
-		victim := b.lru.Back()
-		b.lru.Remove(victim)
-		delete(b.byPage, victim.Value.(*albEntry).page)
+	var i int32
+	if b.free != albNil {
+		i = b.free
+		b.free = b.slots[i].next
+		b.used++
+	} else {
+		// Evict the LRU tail and reuse its slot (and atom storage).
+		i = b.tail
+		b.unlink(i)
+		delete(b.byPage, b.slots[i].page)
+		b.evictions++
 	}
-	b.byPage[page] = b.lru.PushFront(&albEntry{page: page, atoms: atoms})
+	s := &b.slots[i]
+	s.page = page
+	s.atoms = append(s.atoms[:0], atoms...)
+	b.pushFront(i)
+	b.byPage[page] = i
 }
 
 // Covers reports whether the ALB currently caches the page containing pa,
@@ -90,25 +183,38 @@ func (b *ALB) Covers(pa mem.Addr) bool {
 // calls this when an ATOM_MAP/ATOM_UNMAP touches the page.
 func (b *ALB) InvalidatePage(pa mem.Addr) {
 	page := mem.PageIndex(pa)
-	if el, ok := b.byPage[page]; ok {
-		b.lru.Remove(el)
-		delete(b.byPage, page)
-		b.invalids++
+	i, ok := b.byPage[page]
+	if !ok {
+		return
 	}
+	b.unlink(i)
+	delete(b.byPage, page)
+	b.slots[i].next = b.free
+	b.slots[i].prev = albNil
+	b.free = i
+	b.used--
+	b.invalids++
 }
 
-// Flush empties the ALB (required on context switch, §4.4).
+// Flush empties the ALB (required on context switch, §4.4). Slot storage is
+// retained, so refills after a flush do not allocate.
 func (b *ALB) Flush() {
-	b.lru.Init()
-	b.byPage = make(map[uint64]*list.Element, b.entries)
+	for page := range b.byPage {
+		delete(b.byPage, page)
+	}
+	b.resetLists()
 	b.flushes++
 }
 
 // Len returns the number of resident entries.
-func (b *ALB) Len() int { return b.lru.Len() }
+func (b *ALB) Len() int { return b.used }
 
 // Stats returns cumulative hit and miss counts.
 func (b *ALB) Stats() (hits, misses uint64) { return b.hits, b.misses }
+
+// Evictions returns the number of LRU-capacity evictions performed (filled
+// pages displaced by newer fills; invalidations and flushes not included).
+func (b *ALB) Evictions() uint64 { return b.evictions }
 
 // HitRate returns the fraction of lookups served without an AAM access.
 func (b *ALB) HitRate() float64 {

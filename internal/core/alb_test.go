@@ -108,6 +108,102 @@ func TestALBRefillUpdatesExisting(t *testing.T) {
 	}
 }
 
+// TestALBFillCopiesAtoms is the aliasing regression for the old layout,
+// which retained the caller's slice by reference: mutating the buffer after
+// Fill must not change later Lookup results, on both the insert and the
+// overwrite path.
+func TestALBFillCopiesAtoms(t *testing.T) {
+	b := NewALB(4)
+	atoms := make([]AtomID, mem.PageBytes/512)
+	for i := range atoms {
+		atoms[i] = 3
+	}
+	b.Fill(0x1000, atoms)
+	atoms[0] = 9 // caller reuses its buffer
+	if id, _, _ := b.Lookup(0x1000, 512); id != 3 {
+		t.Errorf("insert path aliased caller buffer: chunk 0 = %d, want 3", id)
+	}
+	for i := range atoms {
+		atoms[i] = 5
+	}
+	b.Fill(0x1000, atoms) // overwrite path
+	atoms[0] = 9
+	if id, _, _ := b.Lookup(0x1000, 512); id != 5 {
+		t.Errorf("overwrite path aliased caller buffer: chunk 0 = %d, want 5", id)
+	}
+}
+
+// TestALBShortFillLookupInRange: a fill shorter than the page's chunk count
+// must not make later lookups index out of range — uncached chunks report a
+// hit with no atom (the page tag matched; the chunk data is absent).
+func TestALBShortFillLookupInRange(t *testing.T) {
+	b := NewALB(4)
+	b.Fill(0x2000, []AtomID{7}) // only chunk 0 provided
+	if id, mapped, hit := b.Lookup(0x2000, 512); !hit || !mapped || id != 7 {
+		t.Errorf("chunk 0 = %d,%v,%v, want 7,true,true", id, mapped, hit)
+	}
+	// Chunk 7 was never filled: must not panic, must report no atom.
+	if id, mapped, hit := b.Lookup(0x2E00, 512); !hit || mapped || id != InvalidAtom {
+		t.Errorf("chunk 7 = %d,%v,%v, want InvalidAtom,false,true", id, mapped, hit)
+	}
+	// A full overwrite restores normal behavior for the tail chunk.
+	full := make([]AtomID, mem.PageBytes/512)
+	for i := range full {
+		full[i] = 2
+	}
+	b.Fill(0x2000, full)
+	if id, mapped, hit := b.Lookup(0x2E00, 512); !hit || !mapped || id != 2 {
+		t.Errorf("chunk 7 after refill = %d,%v,%v, want 2,true,true", id, mapped, hit)
+	}
+}
+
+// TestALBEvictionsCounter: capacity evictions are counted; invalidations
+// and flushes are not.
+func TestALBEvictionsCounter(t *testing.T) {
+	b := NewALB(2)
+	fillPage(b, 0x0000, 1)
+	fillPage(b, 0x1000, 2)
+	if b.Evictions() != 0 {
+		t.Fatalf("evictions before capacity = %d, want 0", b.Evictions())
+	}
+	fillPage(b, 0x2000, 3) // evicts LRU
+	if b.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", b.Evictions())
+	}
+	b.InvalidatePage(0x2000)
+	b.Flush()
+	if b.Evictions() != 1 {
+		t.Errorf("evictions after invalidate+flush = %d, want 1 (unchanged)", b.Evictions())
+	}
+}
+
+// TestALBReuseAfterFlushAndInvalidate: slots freed by invalidation and
+// flush go back on the free list and are reusable without shrinking
+// capacity.
+func TestALBReuseAfterFlushAndInvalidate(t *testing.T) {
+	b := NewALB(3)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 3; i++ {
+			fillPage(b, mem.Addr(i)*mem.PageBytes, AtomID(i))
+		}
+		if b.Len() != 3 {
+			t.Fatalf("round %d: len = %d, want 3", round, b.Len())
+		}
+		b.InvalidatePage(mem.PageBytes)
+		if b.Len() != 2 {
+			t.Fatalf("round %d: len after invalidate = %d, want 2", round, b.Len())
+		}
+		fillPage(b, 5*mem.PageBytes, 9)
+		if b.Len() != 3 || b.Evictions() != 0 {
+			t.Fatalf("round %d: freed slot not reused (len %d, evictions %d)", round, b.Len(), b.Evictions())
+		}
+		b.Flush()
+		if b.Len() != 0 {
+			t.Fatalf("round %d: len after flush = %d", round, b.Len())
+		}
+	}
+}
+
 func TestALBDefaultSize(t *testing.T) {
 	b := NewALB(0)
 	for i := 0; i < DefaultALBEntries+10; i++ {

@@ -78,6 +78,11 @@ type AMU struct {
 	mmu       AddressTranslator
 	listeners []MappingListener
 	stats     AMUStats
+	// emptyPage is a reusable all-InvalidAtom page image, handed to the
+	// ALB (which copies it) when a lookup misses on a page with no AAM
+	// entry. It is written once at construction and never mutated, so the
+	// ALB-miss fill path allocates nothing.
+	emptyPage []AtomID
 }
 
 // AMUConfig sizes the AMU's structures. Zero values select paper defaults.
@@ -93,13 +98,18 @@ type AMUConfig struct {
 // NewAMU builds an AMU over the given MMU. The GAT is attached separately at
 // program load (SetGAT), mirroring the OS loading the atom segment.
 func NewAMU(mmu AddressTranslator, cfg AMUConfig) *AMU {
-	return &AMU{
+	u := &AMU{
 		aam: NewAAM(cfg.AAMGranularityBytes),
 		ast: NewAST(cfg.MaxAtoms),
 		alb: NewALB(cfg.ALBEntries),
 		gat: NewGAT(),
 		mmu: mmu,
 	}
+	u.emptyPage = make([]AtomID, u.aam.ChunksPerPage())
+	for i := range u.emptyPage {
+		u.emptyPage[i] = InvalidAtom
+	}
+	return u
 }
 
 // SetGAT installs the process' Global Attribute Table (done by the OS at
@@ -224,6 +234,28 @@ func (u *AMU) ExecUnmap3D(id AtomID, va mem.Addr, sizeX, sizeY, sizeZ, lenX, len
 	u.execMapDims(id, va, sizeX, sizeY, sizeZ, lenX, lenXY, true)
 }
 
+// ExecUnmapAll retires atom id wholesale: every chunk still mapped to it is
+// removed from the AAM, every affected ALB page is invalidated, and the
+// removed ranges are broadcast as an unmap event. This is the AMU-path
+// counterpart of AAM.UnmapAll, which on its own would leave stale ALB
+// entries and uninformed listeners.
+func (u *AMU) ExecUnmapAll(id AtomID) {
+	u.stats.UnmapOps++
+	runs := u.aam.UnmapAll(id)
+	var total uint64
+	for _, r := range runs {
+		total += r.Size
+		for pa := mem.PageAddr(r.Base); pa < r.End(); pa += mem.PageBytes {
+			u.alb.InvalidatePage(pa)
+		}
+	}
+	u.broadcast(MapEvent{
+		ID: id, Ranges: runs,
+		SizeX: total, SizeY: 1, SizeZ: 1, LenX: total, LenXY: total,
+		Unmap: true,
+	})
+}
+
 func (u *AMU) execMapDims(id AtomID, va mem.Addr, sizeX, sizeY, sizeZ, lenX, lenXY uint64, unmap bool) {
 	var runs []PARange
 	for z := uint64(0); z < sizeZ; z++ {
@@ -262,16 +294,22 @@ func (u *AMU) ExecDeactivate(id AtomID) {
 
 // Lookup serves an ATOM_LOOKUP request for physical address pa: it returns
 // the active atom mapped over pa, if any. The ALB is consulted first; only
-// misses read the AAM (§4.2).
+// misses read the AAM (§4.2). The path is allocation-free: a miss hands the
+// ALB the AAM page's own chunk array (or the AMU's constant empty-page
+// image) to copy into slot-owned storage.
 func (u *AMU) Lookup(pa mem.Addr) (AtomID, bool) {
 	u.stats.Lookups++
-	id, mapped, hit := u.alb.Lookup(pa, u.aam.GranularityBytes())
+	id, mapped, hit := u.alb.Lookup(pa, u.aam.granBytes)
 	if !hit {
 		u.stats.AAMAccesses++
-		u.alb.Fill(pa, u.aam.PageAtoms(pa))
-		var ok bool
-		id, ok = u.aam.Lookup(pa)
-		mapped = ok
+		if p := u.aam.page(uint64(pa) >> mem.PageShift); p != nil {
+			u.alb.Fill(pa, p.atoms)
+			id = p.atoms[mem.PageOffset(pa)>>u.aam.granShift]
+			mapped = id != InvalidAtom
+		} else {
+			u.alb.Fill(pa, u.emptyPage)
+			id, mapped = InvalidAtom, false
+		}
 	}
 	if !mapped || !u.ast.Active(id) {
 		return InvalidAtom, false

@@ -210,6 +210,96 @@ func TestAMUActiveMappedAtoms(t *testing.T) {
 	}
 }
 
+func TestAMUExecUnmapAll(t *testing.T) {
+	u := newTestAMU()
+	rec := &recorder{}
+	u.Subscribe(rec)
+	// Atoms are created through a Lib so the structural audit at the end
+	// (which cross-checks the AST and AAM against the created set) applies.
+	lib := NewLib(u)
+	lib.CreateAtom("unused", Attributes{})   // id 0
+	lib.CreateAtom("retired", Attributes{})  // id 1
+	lib.CreateAtom("survivor", Attributes{}) // id 2
+	u.ExecMap(1, 0x1000, 2*mem.PageBytes)    // pages 1,2
+	u.ExecMap(1, 0x10000, 512)               // page 16
+	u.ExecMap(2, 0x20000, 512)               // page 32, different atom
+	u.ExecActivate(1)
+	u.ExecActivate(2)
+	// Warm the ALB on every page atom 1 touches.
+	u.Lookup(0x1000)
+	u.Lookup(0x2000)
+	u.Lookup(0x10000)
+	u.Lookup(0x20000)
+
+	preUnmaps := u.Stats().UnmapOps
+	u.ExecUnmapAll(1)
+	if got := u.Stats().UnmapOps; got != preUnmaps+1 {
+		t.Errorf("UnmapOps = %d, want %d", got, preUnmaps+1)
+	}
+	// Every chunk of atom 1 is gone; atom 2 is untouched.
+	for _, pa := range []mem.Addr{0x1000, 0x2000, 0x10000} {
+		if id, ok := u.Lookup(pa); ok {
+			t.Errorf("Lookup(%#x) = %d after ExecUnmapAll(1)", pa, id)
+		}
+	}
+	if id, ok := u.Lookup(0x20000); !ok || id != 2 {
+		t.Errorf("atom 2 disturbed: %d,%v", id, ok)
+	}
+	if got := u.AAM().MappedBytes(1); got != 0 {
+		t.Errorf("atom 1 still has %d bytes mapped", got)
+	}
+	// The retirement was broadcast as one unmap event carrying the
+	// coalesced ranges.
+	last := rec.maps[len(rec.maps)-1]
+	if !last.Unmap || last.ID != 1 {
+		t.Fatalf("last broadcast = %+v, want unmap of atom 1", last)
+	}
+	want := []PARange{{Base: 0x1000, Size: 2 * mem.PageBytes}, {Base: 0x10000, Size: 512}}
+	if !reflect.DeepEqual(last.Ranges, want) {
+		t.Errorf("broadcast ranges = %+v, want %+v", last.Ranges, want)
+	}
+	// The ALB holds no stale entry: the invariant checker's structural
+	// audit passes.
+	if err := NewInvariantChecker().CheckAll(lib); err != nil {
+		t.Errorf("structural audit after ExecUnmapAll: %v", err)
+	}
+}
+
+// TestAMURawUnmapAllBypassCaught is the guard for the footgun ExecUnmapAll
+// exists to prevent: calling AAM.UnmapAll directly on an AMU-attached AAM
+// leaves stale ALB entries (no invalidation, no broadcast), and the
+// invariant checker must flag exactly that.
+func TestAMURawUnmapAllBypassCaught(t *testing.T) {
+	u := newTestAMU()
+	lib := NewLib(u)
+	id := lib.CreateAtom("guard.atom", Attributes{})
+	lib.AtomMap(id, 0x1000, mem.PageBytes)
+	lib.AtomActivate(id)
+	u.Lookup(0x1000) // ALB now caches page 1 with the atom resident
+
+	if err := NewInvariantChecker().CheckAll(lib); err != nil {
+		t.Fatalf("precondition: consistent state flagged: %v", err)
+	}
+	u.AAM().UnmapAll(id) // the bypass: AAM changes under a warm ALB
+	if err := NewInvariantChecker().CheckAll(lib); err == nil {
+		t.Fatal("raw AAM.UnmapAll left a stale ALB entry but the structural audit passed")
+	}
+}
+
+func TestAMULookupShortPageEntryAfterGranularityChange(t *testing.T) {
+	// A coarse-granularity AMU has fewer chunks per page; its lookups must
+	// stay in range end to end.
+	u := NewAMU(identityMMU{}, AMUConfig{AAMGranularityBytes: mem.PageBytes})
+	u.ExecMap(1, 0x3000, mem.PageBytes)
+	u.ExecActivate(1)
+	if id, ok := u.Lookup(0x3FFF); !ok || id != 1 {
+		t.Fatalf("page-granularity lookup = %d,%v", id, ok)
+	}
+	if _, ok := u.Lookup(0x4000); ok {
+		t.Fatal("neighboring page resolves")
+	}
+}
+
 func TestAMUContextSwitch(t *testing.T) {
 	u := newTestAMU()
 	u.ExecMap(1, 0x1000, 512)

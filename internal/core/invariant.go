@@ -191,12 +191,42 @@ func (c *InvariantChecker) checkLib(l *Lib) error {
 	return nil
 }
 
-// checkAAM recomputes the per-atom mapped-chunk counts from the chunk map
-// and compares them to the AAM's incremental bookkeeping.
+// checkAAM recomputes the per-atom mapped-chunk counts from the paged
+// directory and compares them to the AAM's incremental bookkeeping, and
+// cross-checks each page's own mapped counter against its chunk array.
 func (c *InvariantChecker) checkAAM(m *AAM) error {
 	recount := make(map[AtomID]uint64, len(m.mappedChunks))
-	for _, id := range m.chunks {
-		recount[id]++
+	auditPage := func(pageIdx uint64, p *aamPage) error {
+		if p == nil {
+			return nil
+		}
+		if uint64(len(p.atoms)) != m.chunksPerPage {
+			return fmt.Errorf("aam: page %#x has %d chunk slots, want %d", pageIdx, len(p.atoms), m.chunksPerPage)
+		}
+		n := 0
+		for _, id := range p.atoms {
+			if id != InvalidAtom {
+				recount[id]++
+				n++
+			}
+		}
+		if n != p.mapped {
+			return fmt.Errorf("aam: page %#x has %d mapped chunks but page counter says %d", pageIdx, n, p.mapped)
+		}
+		if n == 0 {
+			return fmt.Errorf("aam: page %#x resident in the directory with no mapped chunks", pageIdx)
+		}
+		return nil
+	}
+	for pageIdx, p := range m.dir {
+		if err := auditPage(uint64(pageIdx), p); err != nil {
+			return err
+		}
+	}
+	for pageIdx, p := range m.overflow {
+		if err := auditPage(pageIdx, p); err != nil {
+			return err
+		}
 	}
 	if len(recount) != len(m.mappedChunks) {
 		return fmt.Errorf("aam: %d atoms have chunks but %d are counted", len(recount), len(m.mappedChunks))
@@ -231,21 +261,52 @@ func (c *InvariantChecker) checkMapped(l *Lib) error {
 	return nil
 }
 
-// checkALB verifies every resident ALB entry still mirrors the AAM: map
-// and unmap operations must have invalidated any page they touched.
+// checkALB verifies every resident ALB entry still mirrors the AAM (map
+// and unmap operations must have invalidated any page they touched) and
+// that the intrusive LRU list is a consistent permutation of the resident
+// set.
 func (c *InvariantChecker) checkALB(u *AMU) error {
-	for page, el := range u.alb.byPage {
-		cached := el.Value.(*albEntry).atoms
-		truth := u.aam.PageAtoms(mem.Addr(page * mem.PageBytes))
-		if len(cached) != len(truth) {
-			return fmt.Errorf("alb: page %#x caches %d chunks, aam has %d", page, len(cached), len(truth))
+	b := u.alb
+	for page, i := range b.byPage {
+		if i < 0 || int(i) >= len(b.slots) {
+			return fmt.Errorf("alb: page %#x indexes slot %d of %d", page, i, len(b.slots))
 		}
-		for i := range truth {
-			if cached[i] != truth[i] {
+		s := &b.slots[i]
+		if s.page != page {
+			return fmt.Errorf("alb: page %#x maps to slot %d tagged %#x", page, i, s.page)
+		}
+		truth := u.aam.PageAtoms(mem.Addr(page * mem.PageBytes))
+		if len(s.atoms) != len(truth) {
+			return fmt.Errorf("alb: page %#x caches %d chunks, aam has %d", page, len(s.atoms), len(truth))
+		}
+		for ci := range truth {
+			if s.atoms[ci] != truth[ci] {
 				return fmt.Errorf("alb: stale entry for page %#x chunk %d: cached atom %d, aam has %d",
-					page, i, cached[i], truth[i])
+					page, ci, s.atoms[ci], truth[ci])
 			}
 		}
+	}
+	// Walk the LRU chain: every resident slot exactly once, links mirrored.
+	seen := 0
+	prev := albNil
+	for i := b.head; i != albNil; i = b.slots[i].next {
+		if b.slots[i].prev != prev {
+			return fmt.Errorf("alb: slot %d prev link %d, want %d", i, b.slots[i].prev, prev)
+		}
+		if j, ok := b.byPage[b.slots[i].page]; !ok || j != i {
+			return fmt.Errorf("alb: slot %d (page %#x) on the LRU list but not indexed", i, b.slots[i].page)
+		}
+		seen++
+		if seen > len(b.slots) {
+			return fmt.Errorf("alb: LRU list longer than %d slots (cycle)", len(b.slots))
+		}
+		prev = i
+	}
+	if prev != b.tail {
+		return fmt.Errorf("alb: LRU tail is %d, walk ended at %d", b.tail, prev)
+	}
+	if seen != len(b.byPage) || seen != b.used {
+		return fmt.Errorf("alb: %d slots on the LRU list, %d indexed, %d counted", seen, len(b.byPage), b.used)
 	}
 	return nil
 }

@@ -1,0 +1,230 @@
+#!/bin/sh
+# bench_hotpath.sh — record the AMU lookup hot path's cost envelope.
+#
+# Runs the allocation-audited hot-path benchmarks (ALB hit, ALB miss +
+# evict, raw AAM walk, ALB fill, page snapshot), the pre-paged reference
+# models (BenchmarkHotRef*, the map-directory AAM + container/list ALB kept
+# in refmodel_test.go), and the Figure 4 thrash point end to end, in
+# interleaved rounds, and writes BENCH_hotpath.json in the same shape as
+# BENCH_span.json: raw ns/op per run, the median, the allocs/op, and a
+# summary comparing new-vs-reference medians.
+#
+# Old and new are measured in the SAME interleaved run on the SAME machine
+# (the bench_snapshot.sh idiom): a recorded constant from another session
+# cannot gate honestly, because background load shifts every figure. With
+# BENCH_HOTPATH_REF_DIR set to a checkout of the pre-paged tree (e.g. a
+# `git worktree add` of the previous release), each round additionally runs
+# BenchmarkFig4XMemThrash there, so the end-to-end comparison is fresh too.
+#
+# Gates (exit non-zero on violation):
+#   - every *Lookup* benchmark of the NEW path must report 0 allocs/op
+#     (steady-state allocation-free lookups; the Ref benchmarks are exempt
+#     — allocating on miss is what they are there to demonstrate);
+#   - the new miss+evict median must not exceed the reference-model median
+#     measured in the same run;
+#   - with BENCH_HOTPATH_REF_DIR set, the Fig-4 point must not regress
+#     against the reference tree: each round runs the two precompiled test
+#     binaries back to back (order alternating by round, so neither tree
+#     systematically benefits from its position), and the gate fails only
+#     when the MEAN of the per-round paired deltas is both above +2% and
+#     more than two standard errors from zero — a drift the host's noise
+#     cannot explain. Without a ref dir the summary still reports the
+#     drift against the recorded PR 7 baseline (BENCH_span.json,
+#     153734954 ns) as information only.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+GO=${GO:-go}
+OUT=${BENCH_HOTPATH_OUT:-"$ROOT/BENCH_hotpath.json"}
+COUNT=${BENCH_HOTPATH_COUNT:-5}
+REF_DIR=${BENCH_HOTPATH_REF_DIR:-}
+# PR 7 baseline: median BenchmarkFig4XMemThrash ns/op from BENCH_span.json.
+BASELINE_NS=${BENCH_HOTPATH_BASELINE_NS:-153734954}
+RAW=$(mktemp /tmp/xmem_bench_hotpath.XXXXXX)
+COREBIN=$(mktemp /tmp/xmem_bench_core.XXXXXX)
+NEWBIN=$(mktemp /tmp/xmem_bench_new.XXXXXX)
+REFBIN=""
+trap 'rm -f "$RAW" "$COREBIN" "$NEWBIN" ${REFBIN:+"$REFBIN"}' EXIT
+
+# Precompile the test binaries once: a round then pairs two executions a
+# few seconds apart instead of two compile+run cycles, which tightens the
+# paired comparison and keeps compile jitter out of the measurements.
+echo "== precompiling benchmark binaries"
+(cd "$ROOT" && $GO test -c -o "$COREBIN" ./internal/core/)
+(cd "$ROOT" && $GO test -c -o "$NEWBIN" .)
+if [ -n "$REF_DIR" ]; then
+	REFBIN=$(mktemp /tmp/xmem_bench_ref.XXXXXX)
+	(cd "$REF_DIR" && $GO test -c -o "$REFBIN" .)
+fi
+
+run_micro() {
+	"$COREBIN" -test.run xxx -test.bench 'BenchmarkHot' -test.benchmem \
+		-test.benchtime 2000000x -test.count 1 | tee -a "$RAW"
+}
+run_new() {
+	"$NEWBIN" -test.run xxx \
+		-test.bench 'BenchmarkAMULookup$|BenchmarkFig4XMemThrash' \
+		-test.benchmem -test.benchtime 10x -test.count 1 | tee -a "$RAW"
+}
+run_ref() {
+	"$REFBIN" -test.run xxx -test.bench 'BenchmarkFig4XMemThrash' \
+		-test.benchmem -test.benchtime 10x -test.count 1 \
+		| sed 's/^BenchmarkFig4XMemThrash/BenchmarkRefFig4XMemThrash/' \
+		| tee -a "$RAW"
+}
+
+# One round runs every benchmark once; rounds interleave so a drifting
+# background load biases every case equally. The new/ref pair alternates
+# order between rounds so a systematic within-round drift (cache warmth,
+# decaying co-tenant load) cannot consistently favor one side.
+echo "== $COUNT interleaved rounds of the hot-path benchmarks"
+i=0
+while [ "$i" -lt "$COUNT" ]; do
+	i=$((i + 1))
+	echo "== round $i/$COUNT"
+	run_micro
+	if [ -z "$REF_DIR" ]; then
+		run_new
+	elif [ $((i % 2)) -eq 1 ]; then
+		run_new
+		run_ref
+	else
+		run_ref
+		run_new
+	fi
+done
+
+host="unknown"
+if [ -r /proc/cpuinfo ]; then
+	host=$(awk -F': ' '/^model name/ { print $2; exit }' /proc/cpuinfo)
+fi
+host="$host, $($GO env GOOS)/$($GO env GOARCH)"
+
+awk -v date="$(date +%F)" -v host="$host" -v baseline="$BASELINE_NS" \
+	-v haveref="$([ -n "$REF_DIR" ] && echo 1 || echo 0)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") {
+			vals[name] = vals[name] " " $(i - 1)
+			n[name]++
+		}
+		if ($i == "allocs/op") {
+			allocs[name] = $(i - 1) + 0
+			seen_allocs[name] = 1
+		}
+	}
+	names[name] = 1
+}
+function median(name,    m, arr, i, tmp, j, t) {
+	m = split(vals[name], arr, " ")
+	for (i = 2; i <= m; i++) {        # insertion sort: counts are tiny
+		t = arr[i] + 0
+		for (j = i - 1; j >= 1 && arr[j] + 0 > t; j--) arr[j + 1] = arr[j]
+		arr[j + 1] = t
+	}
+	return arr[int((m + 1) / 2)] + 0
+}
+function runs(name,    m, arr, i, s) {
+	m = split(vals[name], arr, " ")
+	s = ""
+	for (i = 1; i <= m; i++) s = s (i > 1 ? ", " : "") arr[i]
+	return s
+}
+function block(name,    s) {
+	s = "    \"" name "\": {\n"
+	s = s "      \"ns_per_op\": [" runs(name) "],\n"
+	s = s "      \"median_ns_per_op\": " median(name)
+	if (seen_allocs[name]) s = s ",\n      \"allocs_per_op\": " allocs[name]
+	return s "\n    }"
+}
+END {
+	order = "BenchmarkHotAMULookupHit BenchmarkHotAMULookupMissEvict " \
+		"BenchmarkHotRefAMULookupHit BenchmarkHotRefAMULookupMissEvict " \
+		"BenchmarkHotAAMLookup BenchmarkHotALBFillEvict " \
+		"BenchmarkHotPageAtomsInto BenchmarkAMULookup BenchmarkFig4XMemThrash"
+	if (haveref) order = order " BenchmarkRefFig4XMemThrash"
+	nw = split(order, want, " ")
+	for (i = 1; i <= nw; i++) {
+		if (!(want[i] in names)) {
+			print "bench_hotpath: missing benchmark " want[i] > "/dev/stderr"
+			exit 1
+		}
+	}
+	hit = median("BenchmarkHotAMULookupHit")
+	refhit = median("BenchmarkHotRefAMULookupHit")
+	miss = median("BenchmarkHotAMULookupMissEvict")
+	refmiss = median("BenchmarkHotRefAMULookupMissEvict")
+	fig4 = median("BenchmarkFig4XMemThrash")
+	hitpct = 100 * (hit - refhit) / refhit
+	misspct = 100 * (miss - refmiss) / refmiss
+	printf "{\n"
+	printf "  \"description\": \"AMU lookup hot-path snapshot: allocation-audited micro-benchmarks (ALB hit, ALB miss+evict, raw AAM walk, ALB fill, page snapshot) plus the Figure 4 thrash point end to end, measured against the pre-paged reference models (BenchmarkHotRef*) in the same interleaved run. The paged-AAM + index-LRU layout keeps every lookup at 0 allocs/op. Regenerate with: make bench-hotpath (set BENCH_HOTPATH_REF_DIR to a pre-paged checkout for the fresh end-to-end comparison).\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"host\": \"%s\",\n", host
+	printf "  \"benchmarks\": {\n"
+	for (i = 1; i <= nw; i++) printf "%s%s\n", block(want[i]), (i < nw ? "," : "")
+	printf "  },\n"
+	printf "  \"summary\": {\n"
+	printf "    \"lookup_hit_vs_ref_pct\": %.1f,\n", hitpct
+	printf "    \"lookup_miss_evict_vs_ref_pct\": %.1f,\n", misspct
+	if (haveref) {
+		reffig4 = median("BenchmarkRefFig4XMemThrash")
+		# Pair each round: new and ref run back to back inside a round
+		# (order alternating), so the per-round delta cancels background
+		# load drift that independent medians would attribute to whichever
+		# tree the spike happened to hit. The mean of the paired deltas
+		# estimates the true drift; its standard error says how much of it
+		# the host noise can explain.
+		nn = split(vals["BenchmarkFig4XMemThrash"], newarr, " ")
+		nr = split(vals["BenchmarkRefFig4XMemThrash"], refarr, " ")
+		rounds = (nn < nr ? nn : nr)
+		psum = 0
+		for (i = 1; i <= rounds; i++) {
+			parr[i] = 100 * (newarr[i] - refarr[i]) / refarr[i]
+			psum += parr[i]
+		}
+		pmean = psum / rounds
+		pvar = 0
+		for (i = 1; i <= rounds; i++) pvar += (parr[i] - pmean) ^ 2
+		pse = rounds > 1 ? sqrt(pvar / (rounds - 1)) / sqrt(rounds) : 0
+		printf "    \"fig4_ref_ns_per_op\": %d,\n", reffig4
+		printf "    \"fig4_vs_ref_median_pct\": %.1f,\n", 100 * (fig4 - reffig4) / reffig4
+		printf "    \"fig4_vs_ref_paired_mean_pct\": %.1f,\n", pmean
+		printf "    \"fig4_paired_stderr_pct\": %.1f,\n", pse
+	} else {
+		printf "    \"fig4_baseline_pr7_ns_per_op\": %d,\n", baseline
+		printf "    \"fig4_vs_pr7_baseline_pct_informational\": %.1f,\n", \
+			100 * (fig4 - baseline) / baseline
+	}
+	printf "    \"lookup_allocs_per_op\": %d\n", allocs["BenchmarkHotAMULookupHit"] + allocs["BenchmarkHotAMULookupMissEvict"] + allocs["BenchmarkAMULookup"]
+	printf "  }\n"
+	printf "}\n"
+	bad = 0
+	for (name in names) {
+		if (name ~ /Lookup/ && name !~ /Ref/ && seen_allocs[name] && allocs[name] != 0) {
+			printf "bench_hotpath: %s reports %d allocs/op (want 0)\n", name, allocs[name] > "/dev/stderr"
+			bad = 1
+		}
+	}
+	if (miss > refmiss) {
+		printf "bench_hotpath: miss+evict median %d exceeds the reference-model median %d (%.1f%%)\n", \
+			miss, refmiss, misspct > "/dev/stderr"
+		bad = 1
+	}
+	if (haveref) {
+		if (pmean > 2 && pmean > 2 * pse) {
+			printf "bench_hotpath: Fig4 paired mean %.1f%% above the reference tree (stderr %.1f%%, limit +2%% and 2 stderr; medians new %d vs ref %d)\n", \
+				pmean, pse, fig4, reffig4 > "/dev/stderr"
+			bad = 1
+		}
+	} else {
+		printf "bench_hotpath: note: no BENCH_HOTPATH_REF_DIR; Fig4 median %d vs recorded PR 7 baseline %d = %.1f%% (informational, not gated)\n", \
+			fig4, baseline, 100 * (fig4 - baseline) / baseline > "/dev/stderr"
+	}
+	if (bad) exit 1
+}
+' "$RAW" > "$OUT"
+
+echo "== wrote $OUT"
