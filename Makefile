@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet xmem-vet vet-json infer-validate lint \
-        fmtcheck check bench bench-snapshot bench-hotpath alloc-gate race \
-        sweep-smoke metrics-smoke trace-smoke experiments experiments-paper \
-        examples clean
+.PHONY: all build test test-short vet xmem-vet vet-json vet-hotpath \
+        infer-validate lint fmtcheck check bench bench-snapshot bench-hotpath \
+        alloc-gate race sweep-smoke metrics-smoke trace-smoke experiments \
+        experiments-paper examples clean
 
 all: build vet test
 
@@ -29,6 +29,15 @@ vet-json:
 	$(GO) run ./cmd/xmem-vet -json ./... > results_vet.json; \
 		status=$$?; $(GO) run ./cmd/xmem-inspect -vet results_vet.json; exit $$status
 
+# Static proof of the hot-path contracts: every //xmem:allocfree function
+# (the AMU lookup path) must be provably allocation-free and every
+# //xmem:statsneutral function (the Peek/span-observer family) provably
+# free of stats/counter/LRU mutations, transitively through the call
+# graph. The static twin of alloc-gate and TestSpanTimingNeutral; exits
+# non-zero on any finding (see DESIGN.md, "Hot-path contracts").
+vet-hotpath:
+	$(GO) run ./cmd/xmem-vet -run allocfree,statsneutral ./...
+
 # Differential validation of the attrinfer pipeline: the committed tree
 # must be inference-clean and a fixer fixed point; re-applying the fixes to
 # the preserved pre-fix example in a scratch copy must reproduce the
@@ -46,7 +55,7 @@ fmtcheck:
 lint: vet fmtcheck vet-json
 	$(GO) test -race ./internal/core/... ./internal/sim/...
 
-check: build vet test race alloc-gate metrics-smoke trace-smoke sweep-smoke
+check: build vet test race alloc-gate vet-hotpath metrics-smoke trace-smoke sweep-smoke
 
 # Allocs/op regression gate for the AMU lookup path: AMU.Lookup, Peek, and
 # LookupAttributes must be allocation-free in steady state on the ALB-hit,

@@ -4,6 +4,15 @@
 // MAP, conflicting attributes for one creation site, and CreateAtom after
 // the atom segment has been emitted.
 //
+// It also proves the hot-path contracts: the allocfree analyzer verifies
+// that every //xmem:allocfree function (the AMU lookup path) and everything
+// it reaches through the static call graph performs no heap allocation, and
+// the statsneutral analyzer verifies that //xmem:statsneutral functions
+// (the Peek family and the span-tracer observers) transitively mutate no
+// stats, counter, or LRU state. Audited exceptions are written in the
+// source as //xmem:alloc-ok / //xmem:stats-ok with a mandatory reason; see
+// DESIGN.md, "Hot-path contracts".
+//
 // Usage:
 //
 //	xmem-vet [-run analyzer[,analyzer]] [-json] [-fix] [-fix-dry] [-list] [packages]
@@ -84,16 +93,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := loader.LoadAll()
+	allPkgs, err := loader.LoadAll()
 	if err != nil {
 		fatal(err)
 	}
-	pkgs = selectPackages(pkgs, loader.ModulePath(), root, wd, flag.Args())
+	pkgs := selectPackages(allPkgs, loader.ModulePath(), root, wd, flag.Args())
 	if len(pkgs) == 0 {
 		fatal(fmt.Errorf("no packages match %v", flag.Args()))
 	}
 
-	findings := analysis.Run(loader.Fset, pkgs, analyzers)
+	// The full load stays available as the resolution universe so the
+	// interprocedural provers (allocfree, statsneutral) see callee bodies
+	// in packages outside the selection.
+	findings := analysis.RunScoped(loader.Fset, pkgs, allPkgs, analyzers)
 
 	if *fixFlag || *fixDryFlag {
 		plan, err := analysis.PlanFixes(findings)

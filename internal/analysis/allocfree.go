@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/types"
+
+	"xmem/internal/analysis/ssalite"
+)
+
+// AllocFree is the static twin of the runtime alloc-gate (TestHotPath*
+// AllocsPerRun == 0, `make alloc-gate`): it proves that every function
+// annotated //xmem:allocfree — and everything reachable from it through the
+// static call graph — performs no heap allocation. The runtime gate only
+// covers the paths the benchmarks drive; the prover covers every path the
+// compiler can see, so a regression anywhere in the lookup path fails vet
+// before a benchmark ever runs.
+//
+// Flagged allocation classes (ssalite lowering): make/new, append growth,
+// map assignment, escaping composite literals (&T{...}, slice and map
+// literals), capturing func literals and method values, interface boxing
+// (assignments, declarations, returns, call arguments, sends, conversions),
+// string concatenation and string<->[]byte/[]rune conversions, variadic
+// argument packing (the fmt family), panic, and go/defer statements. Calls
+// the prover cannot resolve — interface dispatch, function values — and
+// calls into packages without source are conservatively flagged: the
+// contract is "provably allocation-free", not "probably".
+//
+// Escape hatches, both requiring a reason: a //xmem:alloc-ok directive in a
+// function's doc comment exempts an audited cold path and its callees (pool
+// refill, directory growth); the same marker on a line (or the line above)
+// exempts the instructions on that line and, for calls, prunes the walk
+// into the callee from that site only.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "//xmem:allocfree functions reaching heap allocations, unresolvable calls, or go/defer",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(u *Unit) {
+	runHotPathProver(u, hotPathChecks{
+		root:         "allocfree",
+		hatch:        "alloc-ok",
+		noSourceWhat: "allocation-free",
+		instr:        allocFreeInstr,
+		// The standard library allocates freely; nothing without source is
+		// assumed allocation-free.
+		noSourceOK:        func(*types.Func) bool { return false },
+		packedCallCovered: true,
+	})
+}
+
+func allocFreeInstr(in ssalite.Instr) string {
+	switch in.Kind {
+	case ssalite.KindAlloc:
+		return "allocates: " + in.Detail
+	case ssalite.KindGo:
+		return "starts a goroutine (newproc allocates)"
+	case ssalite.KindDefer:
+		return "defers a call (the defer record may allocate)"
+	}
+	return ""
+}

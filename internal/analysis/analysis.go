@@ -78,9 +78,24 @@ type Unit struct {
 	Fset *token.FileSet
 	// Packages are the type-checked packages under analysis.
 	Packages []*Package
+	// AllPackages, when non-nil, is a superset of Packages holding every
+	// loaded package. Interprocedural analyzers resolve call targets against
+	// it so a selective run (xmem-vet -run allocfree internal/core) still
+	// sees the bodies of callees in other packages; nil means Packages is
+	// the whole world.
+	AllPackages []*Package
 
 	analyzer string
 	findings *[]Finding
+}
+
+// Universe returns the packages cross-package facts should resolve against:
+// AllPackages when set, else Packages.
+func (u *Unit) Universe() []*Package {
+	if u.AllPackages != nil {
+		return u.AllPackages
+	}
+	return u.Packages
 }
 
 // Reportf records a finding at pos.
@@ -99,7 +114,7 @@ func (u *Unit) Report(f Finding) {
 
 // All returns the xmem-vet analyzers, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomLifecycle, AttrConflict, AttrInfer, AttrTruth, DimCheck, NoShare, SealedLib}
+	return []*Analyzer{AllocFree, AtomLifecycle, AttrConflict, AttrInfer, AttrTruth, DimCheck, NoShare, SealedLib, StatsNeutral}
 }
 
 // ByNames resolves a comma-separated analyzer selection against All(),
@@ -142,9 +157,17 @@ func ByNames(names string) ([]*Analyzer, error) {
 // Run executes the analyzers over the packages and returns the findings
 // sorted by position (SortFindings).
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunScoped(fset, pkgs, nil, analyzers)
+}
+
+// RunScoped is Run with an explicit universe: analyzers report only on pkgs
+// but resolve cross-package facts (hot-path call targets, suppression
+// markers) against universe, which must be a superset of pkgs. A nil
+// universe means pkgs is the whole world.
+func RunScoped(fset *token.FileSet, pkgs, universe []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	for _, a := range analyzers {
-		u := &Unit{Fset: fset, Packages: pkgs, analyzer: a.Name, findings: &findings}
+		u := &Unit{Fset: fset, Packages: pkgs, AllPackages: universe, analyzer: a.Name, findings: &findings}
 		a.Run(u)
 	}
 	SortFindings(findings)

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllocFree(t *testing.T) {
+	runFixture(t, AllocFree, "allocbad")
+	runFixture(t, AllocFree, "allocgood")
+}
+
+func TestStatsNeutral(t *testing.T) {
+	runFixture(t, StatsNeutral, "statsbad")
+	runFixture(t, StatsNeutral, "statsgood")
+}
+
+// TestHotPathGoldenJSON pins the exact machine-readable report the hot-path
+// provers emit over the four fixture packages: finding wording, positions,
+// and the xmem-vet/v2 envelope are all load-bearing for consumers
+// (xmem-inspect -vet, CI trend tracking). The report must also round-trip
+// through ReadVetReport's schema validation. -update regenerates
+// testdata/hotpath_findings.golden.json.
+func TestHotPathGoldenJSON(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, name := range []string{"allocbad", "allocgood", "statsbad", "statsgood"} {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+		if err != nil {
+			t.Fatalf("loading %s: %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	analyzers := []*Analyzer{AllocFree, StatsNeutral}
+	findings := Run(loader.Fset, pkgs, analyzers)
+
+	// Root is left empty so file paths stay the loader-relative fixture
+	// paths, which are stable across checkouts.
+	report := NewVetReport("fixture", "", analyzers, findings)
+	var buf bytes.Buffer
+	if err := report.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVetReport(buf.Bytes()); err != nil {
+		t.Fatalf("report does not validate against its own schema: %v", err)
+	}
+
+	goldenPath := filepath.Join("testdata", "hotpath_findings.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("hot-path findings differ from golden (rerun with -update if intended):\n--- got\n%s\n--- want\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestHotPathReasonlessLineMarker covers the one hatch-hygiene case the
+// want-comment fixtures cannot express: a reasonless //xmem:alloc-ok line
+// marker occupies its whole source line, so no `want` comment can share
+// the line the finding lands on. The fixture is built in a temp dir
+// instead.
+func TestHotPathReasonlessLineMarker(t *testing.T) {
+	dir := t.TempDir()
+	src := `package tmpfix
+
+//xmem:allocfree
+func grows(x []int) []int {
+	return append(x, 1) //xmem:alloc-ok
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "tmpfix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "fixture/tmpfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(loader.Fset, []*Package{pkg}, []*Analyzer{AllocFree})
+	// The reasonless marker still suppresses the append (so the only
+	// finding is the hygiene one), but it must demand a justification.
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the reasonless-marker finding: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "suppression without a reason") {
+		t.Errorf("finding = %s, want a reasonless-suppression diagnostic", findings[0])
+	}
+}

@@ -1,0 +1,429 @@
+package ssalite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// lowerer walks one function body and appends effect instructions to fn.
+// Func literal bodies are lowered into the same stream, so a single lowerer
+// serves the whole declaration.
+type lowerer struct {
+	info *types.Info
+	fn   *Func
+	// calleeExpr marks expressions that appear as the Fun of a call, so the
+	// selector visit does not misreport them as method-value closures.
+	calleeExpr map[ast.Expr]bool
+}
+
+func (lo *lowerer) emit(in Instr) { lo.fn.Instrs = append(lo.fn.Instrs, in) }
+
+func (lo *lowerer) alloc(pos token.Pos, detail string) {
+	lo.emit(Instr{Kind: KindAlloc, Pos: pos, Detail: detail})
+}
+
+// walk lowers the subtree under n; sig is the innermost enclosing function
+// signature, consulted for interface boxing at return statements.
+func (lo *lowerer) walk(n ast.Node, sig *types.Signature) {
+	if lo.calleeExpr == nil {
+		lo.calleeExpr = make(map[ast.Expr]bool)
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.FuncLit:
+			lo.lowerFuncLit(v)
+			return false
+		case *ast.CallExpr:
+			lo.lowerCall(v)
+		case *ast.AssignStmt:
+			lo.lowerAssign(v)
+		case *ast.IncDecStmt:
+			lo.lowerStoreTarget(v.X)
+		case *ast.ValueSpec:
+			if v.Type != nil {
+				to := lo.info.TypeOf(v.Type)
+				for _, val := range v.Values {
+					if isIfaceBox(to, lo.info.TypeOf(val)) {
+						lo.alloc(val.Pos(), "value boxed into interface on declaration")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results().Len() == len(v.Results) {
+				for i, res := range v.Results {
+					if isIfaceBox(sig.Results().At(i).Type(), lo.info.TypeOf(res)) {
+						lo.alloc(res.Pos(), "return value boxed into interface result")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			lo.emit(Instr{Kind: KindSend, Pos: v.Arrow})
+			if ch, ok := typeUnder(lo.info.TypeOf(v.Chan)).(*types.Chan); ok && isIfaceBox(ch.Elem(), lo.info.TypeOf(v.Value)) {
+				lo.alloc(v.Value.Pos(), "value boxed into interface channel element")
+			}
+		case *ast.GoStmt:
+			lo.emit(Instr{Kind: KindGo, Pos: v.Pos()})
+		case *ast.DeferStmt:
+			lo.emit(Instr{Kind: KindDefer, Pos: v.Pos()})
+		case *ast.SelectorExpr:
+			lo.lowerSelector(v)
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isStringType(lo.info.TypeOf(v)) {
+				lo.alloc(v.OpPos, "string concatenation allocates")
+			}
+		case *ast.CompositeLit:
+			switch typeUnder(lo.info.TypeOf(v)).(type) {
+			case *types.Slice:
+				lo.alloc(v.Pos(), "slice literal allocates")
+			case *types.Map:
+				lo.alloc(v.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok {
+					lo.alloc(v.Pos(), "composite literal escapes to the heap (&T{...})")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lowerFuncLit flags capturing literals (the closure record is a heap
+// allocation) and inlines the body's effects into the enclosing stream.
+func (lo *lowerer) lowerFuncLit(lit *ast.FuncLit) {
+	if lo.captures(lit) {
+		lo.alloc(lit.Pos(), "func literal captures variables (closure allocates)")
+	}
+	sig, _ := lo.info.TypeOf(lit).(*types.Signature)
+	lo.walk(lit.Body, sig)
+}
+
+// captures reports whether lit references any variable declared outside its
+// own extent other than package-level vars and struct fields.
+func (lo *lowerer) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := lo.info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil || !obj.Pos().IsValid() {
+			return true
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (lo *lowerer) lowerCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	lo.calleeExpr[fun] = true
+
+	// Conversions: string<->[]byte/[]rune and to-interface conversions
+	// allocate; everything else is free.
+	if tv, ok := lo.info.Types[call.Fun]; ok && tv.IsType() {
+		lo.lowerConversion(call, tv.Type)
+		return
+	}
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := lo.info.Uses[id].(*types.Builtin); ok {
+			lo.lowerBuiltin(call, b)
+			return
+		}
+	}
+
+	// A directly invoked func literal needs no call instruction: its body
+	// is already inlined into this stream.
+	if _, ok := fun.(*ast.FuncLit); ok {
+		return
+	}
+
+	sig, _ := typeUnder(lo.info.TypeOf(call.Fun)).(*types.Signature)
+	packed := false
+	if sig != nil && sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		n := len(call.Args) - sig.Params().Len() + 1
+		lo.alloc(call.Lparen, "variadic call packs "+strconv.Itoa(n)+" argument(s) into a new slice")
+		packed = true
+	}
+	lo.lowerCallArgBoxing(call, sig)
+
+	if callee := lo.staticCallee(fun); callee != nil {
+		lo.emit(Instr{Kind: KindCall, Pos: call.Lparen, Callee: callee, VariadicPacked: packed})
+		return
+	}
+	lo.emit(Instr{Kind: KindCall, Pos: call.Lparen, Detail: lo.dynamicDetail(fun), VariadicPacked: packed})
+}
+
+func (lo *lowerer) lowerBuiltin(call *ast.CallExpr, b *types.Builtin) {
+	switch b.Name() {
+	case "append":
+		lo.alloc(call.Pos(), "append may grow its backing array")
+	case "make":
+		lo.alloc(call.Pos(), "make allocates")
+	case "new":
+		lo.alloc(call.Pos(), "new allocates")
+	case "panic":
+		lo.alloc(call.Pos(), "panic boxes its argument")
+	case "print", "println":
+		lo.alloc(call.Pos(), b.Name()+" boxes its arguments")
+	}
+}
+
+func (lo *lowerer) lowerConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := lo.info.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	switch {
+	case isIfaceBox(to, from):
+		lo.alloc(call.Pos(), "conversion boxes a value into an interface")
+	case isStringType(to) && (isByteOrRuneSlice(from) || isIntegerType(from)):
+		lo.alloc(call.Pos(), "string conversion allocates")
+	case isByteOrRuneSlice(to) && isStringType(from):
+		lo.alloc(call.Pos(), "string conversion allocates")
+	}
+}
+
+// lowerCallArgBoxing flags concrete values passed to non-variadic interface
+// parameters; the variadic tail is covered by the pack allocation.
+func (lo *lowerer) lowerCallArgBoxing(call *ast.CallExpr, sig *types.Signature) {
+	if sig == nil {
+		return
+	}
+	n := sig.Params().Len()
+	for i, arg := range call.Args {
+		if i >= n || (sig.Variadic() && i == n-1) {
+			break
+		}
+		if isIfaceBox(sig.Params().At(i).Type(), lo.info.TypeOf(arg)) {
+			lo.alloc(arg.Pos(), "argument boxed into interface parameter")
+		}
+	}
+}
+
+// staticCallee resolves fun to a declared function object when dispatch is
+// static: direct calls, concrete method values, method expressions, and
+// package-qualified names. Interface dispatch and function values return nil.
+func (lo *lowerer) staticCallee(fun ast.Expr) *types.Func {
+	switch v := fun.(type) {
+	case *ast.Ident:
+		if f, ok := lo.info.Uses[v].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := lo.info.Selections[v]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					return nil
+				}
+				return sel.Obj().(*types.Func)
+			case types.MethodExpr:
+				return sel.Obj().(*types.Func)
+			}
+			return nil // function-typed field
+		}
+		if f, ok := lo.info.Uses[v.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) dynamicDetail(fun ast.Expr) string {
+	if v, ok := fun.(*ast.SelectorExpr); ok {
+		if sel, ok := lo.info.Selections[v]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				return "interface method call " + types.ExprString(fun)
+			case types.FieldVal:
+				return "call through function-valued field " + types.ExprString(fun)
+			}
+		}
+	}
+	return "call through function value " + types.ExprString(fun)
+}
+
+func (lo *lowerer) lowerAssign(v *ast.AssignStmt) {
+	if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && isStringType(lo.info.TypeOf(v.Lhs[0])) {
+		lo.alloc(v.TokPos, "string concatenation allocates")
+	}
+	if v.Tok != token.DEFINE {
+		for _, lhs := range v.Lhs {
+			lo.lowerStoreTarget(lhs)
+		}
+	}
+	if v.Tok == token.ASSIGN && len(v.Lhs) == len(v.Rhs) {
+		for i := range v.Lhs {
+			if isIfaceBox(lo.info.TypeOf(v.Lhs[i]), lo.info.TypeOf(v.Rhs[i])) {
+				lo.alloc(v.Rhs[i].Pos(), "value boxed into interface on assignment")
+			}
+		}
+	}
+}
+
+// lowerStoreTarget classifies one assignment destination: it collects the
+// named types the selector/index chain traverses (so u.stats.Lookups names
+// both AMUStats and AMU) and flags direct map assignments as allocations.
+func (lo *lowerer) lowerStoreTarget(lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	var owners []*types.Named
+	addOwner := func(t types.Type) {
+		n := namedOf(t)
+		if n == nil {
+			return
+		}
+		for _, have := range owners {
+			if have == n {
+				return
+			}
+		}
+		owners = append(owners, n)
+	}
+	cur, first, mapAssign := lhs, true, false
+loop:
+	for {
+		switch v := ast.Unparen(cur).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := lo.info.Selections[v]; ok {
+				addOwner(sel.Recv())
+			} else if obj, ok := lo.info.Uses[v.Sel].(*types.Var); ok {
+				// Qualified package-level var (pkg.Global = x).
+				addOwner(obj.Type())
+				break loop
+			}
+			cur = v.X
+		case *ast.IndexExpr:
+			t := lo.info.TypeOf(v.X)
+			if first {
+				if _, ok := typeUnder(t).(*types.Map); ok {
+					mapAssign = true
+				}
+			}
+			addOwner(t)
+			addOwner(elemOf(t))
+			cur = v.X
+		case *ast.StarExpr:
+			addOwner(lo.info.TypeOf(v.X))
+			cur = v.X
+		case *ast.Ident:
+			if obj, ok := lo.info.Uses[v].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				// Direct store to a package-level var of a named type.
+				addOwner(obj.Type())
+			}
+			break loop
+		default:
+			break loop
+		}
+		first = false
+	}
+	if mapAssign {
+		lo.alloc(lhs.Pos(), "map assignment may grow the bucket array")
+	}
+	if len(owners) > 0 {
+		lo.emit(Instr{Kind: KindStore, Pos: lhs.Pos(), Owners: owners, Path: types.ExprString(lhs)})
+	}
+}
+
+// lowerSelector flags method values (x.M not in call position), which bind
+// a receiver into a heap-allocated closure.
+func (lo *lowerer) lowerSelector(v *ast.SelectorExpr) {
+	if lo.calleeExpr[v] {
+		return
+	}
+	if sel, ok := lo.info.Selections[v]; ok && sel.Kind() == types.MethodVal {
+		lo.alloc(v.Pos(), "method value allocates a closure")
+	}
+}
+
+// typeUnder returns t.Underlying, tolerating nil.
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// namedOf strips pointers and returns the named type beneath, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch v := t.(type) {
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Named:
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// elemOf returns the element type of a slice or array (through pointers),
+// or nil.
+func elemOf(t types.Type) types.Type {
+	switch v := typeUnder(t).(type) {
+	case *types.Slice:
+		return v.Elem()
+	case *types.Array:
+		return v.Elem()
+	case *types.Pointer:
+		return elemOf(v.Elem())
+	}
+	return nil
+}
+
+func isIfaceBox(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if _, ok := from.Underlying().(*types.Interface); ok {
+		return false
+	}
+	if b, ok := from.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := typeUnder(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

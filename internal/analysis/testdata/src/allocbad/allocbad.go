@@ -1,0 +1,135 @@
+// Package allocbad holds true positives for the allocfree prover: every
+// //xmem:allocfree root below reaches at least one heap allocation, an
+// unresolvable call, or a go/defer statement.
+package allocbad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sink abstracts a byte destination; dispatch through it cannot be resolved
+// statically.
+type Sink interface {
+	Put(b byte)
+}
+
+// box carries a value so a method value can bind it into a closure.
+type box struct{ n int }
+
+func (b box) get() int { return b.n }
+
+// point is the target of an escaping composite literal.
+type point struct{ x, y int }
+
+var buf []byte
+
+//xmem:allocfree
+func mk() []int {
+	return make([]int, 8) // want "make allocates"
+}
+
+//xmem:allocfree
+func grows(x []int) []int {
+	return append(x, 1) // want "append may grow its backing array"
+}
+
+//xmem:allocfree
+func mapAssign(m map[string]int) {
+	m["k"] = 1 // want "map assignment may grow the bucket array"
+}
+
+//xmem:allocfree
+func escapes() *point {
+	return &point{x: 1} // want "composite literal escapes to the heap"
+}
+
+//xmem:allocfree
+func sliceLit() {
+	s := []int{1, 2} // want "slice literal allocates"
+	_ = s
+}
+
+//xmem:allocfree
+func closes(n int) func() int {
+	return func() int { return n } // want "func literal captures variables"
+}
+
+//xmem:allocfree
+func methodValue(b box) {
+	g := b.get // want "method value allocates a closure"
+	_ = g
+}
+
+//xmem:allocfree
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//xmem:allocfree
+func toBytes(s string) []byte {
+	return []byte(s) // want "string conversion allocates"
+}
+
+//xmem:allocfree
+func boxesReturn(n int) any {
+	return n // want "return value boxed into interface result"
+}
+
+//xmem:allocfree
+func boxesDecl(n int) {
+	var i any = n // want "value boxed into interface on declaration"
+	_ = i
+}
+
+//xmem:allocfree
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want "variadic call packs 1 argument"
+}
+
+//xmem:allocfree
+func noSource(s string) int {
+	return strings.IndexByte(s, 'x') // want "cannot be proven allocation-free"
+}
+
+//xmem:allocfree
+func dynamicIface(s Sink) {
+	s.Put(1) // want "interface method call s.Put"
+}
+
+//xmem:allocfree
+func dynamicValue(f func()) {
+	f() // want "call through function value f"
+}
+
+//xmem:allocfree
+func spawns() {
+	go nothing() // want "starts a goroutine"
+}
+
+//xmem:allocfree
+func defers() {
+	defer nothing() // want "defers a call"
+}
+
+func nothing() {}
+
+// transitiveRoot is itself clean; the violation sits one call down and is
+// reported with the chain that reaches it.
+//
+//xmem:allocfree
+func transitiveRoot() {
+	grow()
+}
+
+func grow() {
+	buf = append(buf, 1) // want "append may grow its backing array via allocbad.transitiveRoot → allocbad.grow"
+}
+
+// reasonless carries an audited-exception directive with no justification,
+// which the prover rejects as hatch hygiene.
+//
+//xmem:alloc-ok
+func reasonless() { // want "suppression without a reason"
+	_ = make([]int, 1)
+}

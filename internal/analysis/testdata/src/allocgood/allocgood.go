@@ -1,0 +1,82 @@
+// Package allocgood holds code the allocfree prover accepts: audited escape
+// hatches with reasons, ellipsis pass-through, directly invoked literals,
+// and allocations in functions no contract reaches.
+package allocgood
+
+// Sink abstracts a byte destination.
+type Sink interface {
+	Put(b byte)
+}
+
+// ring reuses slot-owned storage across fills, the idiom the hot-path ALB
+// and AAM use.
+type ring struct {
+	buf  []byte
+	free []int
+}
+
+// fill copies into slot-owned storage; the append was audited against the
+// runtime alloc-gate and reuses capacity after the first fill.
+//
+//xmem:allocfree
+func (r *ring) fill(p []byte) {
+	r.buf = append(r.buf[:0], p...) //xmem:alloc-ok buf capacity reaches the high-water mark on the first fill and is reused
+}
+
+// refill is the audited cold path: it runs only when the free list is
+// empty, off the steady-state hot path, so the whole subtree is exempt.
+//
+//xmem:alloc-ok pool refill: allocates only until the pool reaches its high-water mark
+func (r *ring) refill() {
+	r.free = append(r.free, len(r.free))
+}
+
+//xmem:allocfree
+func (r *ring) take() int {
+	if len(r.free) == 0 {
+		r.refill()
+	}
+	n := r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	return n
+}
+
+// drain suppresses the conservative unresolved-dispatch finding at an
+// audited call site; the marker on the line above prunes the walk into
+// the dynamic call.
+//
+//xmem:allocfree
+func drain(s Sink, b byte) {
+	//xmem:alloc-ok audited: every Sink implementation in this fixture writes into preallocated storage
+	s.Put(b)
+}
+
+// passThrough forwards its variadic arguments with an ellipsis, which
+// reuses the caller's slice instead of packing a new one.
+//
+//xmem:allocfree
+func passThrough(xs ...int) int {
+	return sum(xs...)
+}
+
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// direct invokes a non-capturing literal at its creation point: the body
+// inlines into this stream and no closure record is built.
+//
+//xmem:allocfree
+func direct() int {
+	return func(x int) int { return x * 2 }(3)
+}
+
+// coldInit carries no contract and is unreachable from any root; its
+// allocation is none of the prover's business.
+func coldInit() []byte {
+	return make([]byte, 4096)
+}

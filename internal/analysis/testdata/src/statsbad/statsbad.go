@@ -1,0 +1,79 @@
+// Package statsbad holds true positives for the statsneutral prover: every
+// //xmem:statsneutral root below reaches a tracked-state mutation, a send,
+// a goroutine, or a call the prover cannot resolve.
+package statsbad
+
+import (
+	"xmem/internal/core"
+	"xmem/internal/mem"
+)
+
+// Probe abstracts a measurement callback; dispatch through it cannot be
+// resolved statically.
+type Probe interface {
+	Observe(v uint64)
+}
+
+// bumpDirect claims neutrality but counts the lookup it serves.
+//
+//xmem:statsneutral
+func bumpDirect(s *core.AMUStats) {
+	s.Lookups++ // want "mutates core.AMUStats state (store to s.Lookups)"
+}
+
+// bumpViaHelper is itself clean; the mutation sits one call down and is
+// reported with the chain that reaches it.
+//
+//xmem:statsneutral
+func bumpViaHelper(s *core.AMUStats) {
+	count(s)
+}
+
+func count(s *core.AMUStats) {
+	s.MapOps++ // want "mutates core.AMUStats state (store to s.MapOps) via statsbad.bumpViaHelper → statsbad.count"
+}
+
+// peeks calls into a package whose source is outside this fixture's
+// universe: the callee cannot be proven and is conservatively flagged.
+//
+//xmem:statsneutral
+func peeks(u *core.AMU, pa mem.Addr) core.AtomID {
+	id, _ := u.Peek(pa) // want "cannot be proven stats-neutral"
+	return id
+}
+
+//xmem:statsneutral
+func leaks(ch chan int) {
+	ch <- 1 // want "sends on a channel"
+}
+
+//xmem:statsneutral
+func spawns() {
+	go func() {}() // want "starts a goroutine"
+}
+
+//xmem:statsneutral
+func observes(p Probe) {
+	p.Observe(1) // want "interface method call p.Observe"
+}
+
+// dedupA and dedupB share a mutating helper: the violation is reported
+// once, attributed to the first root in source order.
+//
+//xmem:statsneutral
+func dedupA(s *core.AMUStats) { shared(s) }
+
+//xmem:statsneutral
+func dedupB(s *core.AMUStats) { shared(s) }
+
+func shared(s *core.AMUStats) {
+	s.UnmapOps++ // want "via statsbad.dedupA → statsbad.shared"
+}
+
+// hatchNoReason carries an audited-exception directive with no
+// justification, which the prover rejects as hatch hygiene.
+//
+//xmem:stats-ok
+func hatchNoReason(s *core.AMUStats) { // want "suppression without a reason"
+	s.Lookups++
+}

@@ -1,0 +1,77 @@
+// Package statsgood holds code the statsneutral prover accepts: counter
+// reads, mutations of untracked bookkeeping, signature-proven standard
+// library calls, and audited exceptions with reasons.
+package statsgood
+
+import (
+	"strings"
+
+	"xmem/internal/core"
+)
+
+// Probe abstracts a measurement callback.
+type Probe interface {
+	Observe(v uint64)
+}
+
+// gauge is this package's own bookkeeping; it is not a tracked stats type.
+type gauge struct{ n uint64 }
+
+// snapshot only reads counters; reads are always neutral.
+//
+//xmem:statsneutral
+func snapshot(s *core.AMUStats) uint64 {
+	return s.Lookups + s.AAMAccesses
+}
+
+// tally mutates a plain map the caller owns — nothing tracked.
+//
+//xmem:statsneutral
+func tally(m map[string]int, k string) {
+	m[k]++
+}
+
+// inc mutates this package's own gauge — nothing tracked.
+//
+//xmem:statsneutral
+func (g *gauge) inc() {
+	g.n++
+}
+
+// normalize leans on the standard library: strings.ToUpper's signature
+// cannot reach tracked state, a function value, or an interface, so the
+// call is proven safe without source.
+//
+//xmem:statsneutral
+func normalize(k string) string {
+	return strings.ToUpper(k)
+}
+
+// restore writes a counter back from a snapshot when replaying a trace;
+// the audited marker exempts the single store.
+//
+//xmem:statsneutral
+func restore(s *core.AMUStats, lookups uint64) {
+	s.Lookups = lookups //xmem:stats-ok trace replay restores the snapshot the caller just took; net counter state is unchanged
+}
+
+// reset is an audited exempt subtree: zeroing the counters at an epoch
+// boundary is the sampler's contract, not a hidden mutation.
+//
+//xmem:stats-ok epoch boundary: zeroing the counters is the sampler's contract, not a hidden mutation
+func reset(s *core.AMUStats) {
+	*s = core.AMUStats{}
+}
+
+//xmem:statsneutral
+func epoch(s *core.AMUStats) {
+	reset(s)
+}
+
+// notify suppresses the conservative unresolved-dispatch finding at an
+// audited call site.
+//
+//xmem:statsneutral
+func notify(p Probe, v uint64) {
+	p.Observe(v) //xmem:stats-ok audited: every Probe registered in this fixture is a pure recorder
+}

@@ -540,7 +540,10 @@ func (c *Cache) AgePinned(keep func(core.AtomID) bool) {
 	}
 }
 
-// Contains reports whether pa is resident (testing/introspection).
+// Contains reports whether pa is resident (testing/introspection). Unlike
+// Access, it never touches replacement or stats state.
+//
+//xmem:statsneutral
 func (c *Cache) Contains(pa mem.Addr) bool {
 	set, tag := c.index(mem.LineAddr(pa))
 	return c.find(set, tag) >= 0

@@ -103,6 +103,9 @@ func (m *AAM) chunkRange(pa mem.Addr, size uint64) (first, last uint64) {
 // page returns the directory entry for pageIdx, or nil when no chunk in the
 // page has ever been mapped. This is the AMU's ALB-miss walk: one bounds
 // check and one index on the dense path.
+//
+//xmem:allocfree
+//xmem:statsneutral
 func (m *AAM) page(pageIdx uint64) *aamPage {
 	if pageIdx < uint64(len(m.dir)) {
 		return m.dir[pageIdx]
@@ -115,6 +118,8 @@ func (m *AAM) page(pageIdx uint64) *aamPage {
 
 // ensurePage returns the directory entry for pageIdx, allocating the page
 // (and growing the dense directory) if needed. Only Map reaches this.
+//
+//xmem:alloc-ok cold pool-refill path: a page allocates only the first time its index is mapped; steady-state churn reuses freePages (TestHotPathMapChurnAllocFree)
 func (m *AAM) ensurePage(pageIdx uint64) *aamPage {
 	if p := m.page(pageIdx); p != nil {
 		return p
@@ -157,7 +162,7 @@ func (m *AAM) dropIfEmpty(pageIdx uint64, p *aamPage) {
 	} else {
 		delete(m.overflow, pageIdx)
 	}
-	m.freePages = append(m.freePages, p)
+	m.freePages = append(m.freePages, p) //xmem:alloc-ok pool return: freePages grows only to the high-water page count, then reuses capacity
 }
 
 // chunkPage splits a global chunk index into its page and the chunk's slot
@@ -170,6 +175,8 @@ func (m *AAM) chunkPage(c uint64) (pageIdx, slot uint64) {
 // Map associates every chunk overlapping [pa, pa+size) with atom id,
 // displacing any previous association (the many-to-one VA-atom invariant of
 // §3.2: a chunk maps to at most one atom at a time).
+//
+//xmem:allocfree
 func (m *AAM) Map(pa mem.Addr, size uint64, id AtomID) {
 	first, last := m.chunkRange(pa, size)
 	for c := first; c < last; c++ {
@@ -184,13 +191,15 @@ func (m *AAM) Map(pa mem.Addr, size uint64, id AtomID) {
 		}
 		p.atoms[slot] = id
 		p.mapped++
-		m.mappedChunks[id]++
+		m.mappedChunks[id]++ //xmem:alloc-ok mappedChunks is bounded by the live atom count (<= MaxAtoms); churn over an established footprint reuses existing keys
 	}
 }
 
 // Unmap removes the association of atom id from every chunk overlapping
 // [pa, pa+size). Chunks mapped to a different atom are left untouched, so
 // an atom can be unmapped without disturbing later remappings.
+//
+//xmem:allocfree
 func (m *AAM) Unmap(pa mem.Addr, size uint64, id AtomID) {
 	first, last := m.chunkRange(pa, size)
 	for c := first; c < last; c++ {
@@ -270,12 +279,15 @@ func (m *AAM) decMapped(id AtomID) {
 	if n := m.mappedChunks[id]; n <= 1 {
 		delete(m.mappedChunks, id)
 	} else {
-		m.mappedChunks[id] = n - 1
+		m.mappedChunks[id] = n - 1 //xmem:alloc-ok assignment to a key that is already present never grows the bucket array
 	}
 }
 
 // Lookup returns the atom mapped over physical address pa, if any. This is
 // the per-access hot path: two array indexes, no allocation.
+//
+//xmem:allocfree
+//xmem:statsneutral
 func (m *AAM) Lookup(pa mem.Addr) (AtomID, bool) {
 	p := m.page(uint64(pa) >> mem.PageShift)
 	if p == nil {
@@ -317,13 +329,15 @@ func (m *AAM) PageAtoms(pa mem.Addr) []AtomID {
 // PageAtomsInto appends the page's chunk atom IDs to dst (resliced to
 // length 0 first) and returns it, reusing dst's capacity so a caller-owned
 // buffer makes repeated snapshots allocation-free.
+//
+//xmem:allocfree
 func (m *AAM) PageAtomsInto(pa mem.Addr, dst []AtomID) []AtomID {
 	dst = dst[:0]
 	if p := m.page(uint64(pa) >> mem.PageShift); p != nil {
-		return append(dst, p.atoms...)
+		return append(dst, p.atoms...) //xmem:alloc-ok appends into the caller's buffer, which reaches chunksPerPage capacity on first use and is reused
 	}
 	for i := uint64(0); i < m.chunksPerPage; i++ {
-		dst = append(dst, InvalidAtom)
+		dst = append(dst, InvalidAtom) //xmem:alloc-ok appends into the caller's buffer, which reaches chunksPerPage capacity on first use and is reused
 	}
 	return dst
 }

@@ -106,6 +106,8 @@ func (b *ALB) pushFront(i int32) {
 }
 
 // touch moves an already-resident slot to the front of the LRU list.
+//
+//xmem:allocfree
 func (b *ALB) touch(i int32) {
 	if b.head == i {
 		return
@@ -119,6 +121,8 @@ func (b *ALB) touch(i int32) {
 // select the chunk within the page. The three results are (id, mapped,
 // hit): a resident page whose chunk holds no atom is a hit with mapped ==
 // false.
+//
+//xmem:allocfree
 func (b *ALB) Lookup(pa mem.Addr, granBytes uint64) (AtomID, bool, bool) {
 	page := mem.PageIndex(pa)
 	i, ok := b.byPage[page]
@@ -143,11 +147,13 @@ func (b *ALB) Lookup(pa mem.Addr, granBytes uint64) (AtomID, bool, bool) {
 // recently used entry if the ALB is full. The atoms slice is copied into
 // slot-owned storage: the caller keeps ownership of its buffer, and
 // mutating it afterwards cannot alter ALB contents.
+//
+//xmem:allocfree
 func (b *ALB) Fill(pa mem.Addr, atoms []AtomID) {
 	page := mem.PageIndex(pa)
 	if i, ok := b.byPage[page]; ok {
 		s := &b.slots[i]
-		s.atoms = append(s.atoms[:0], atoms...)
+		s.atoms = append(s.atoms[:0], atoms...) //xmem:alloc-ok slot-owned storage: capacity reaches chunksPerPage after the slot's first fill and is reused
 		b.touch(i)
 		return
 	}
@@ -165,15 +171,18 @@ func (b *ALB) Fill(pa mem.Addr, atoms []AtomID) {
 	}
 	s := &b.slots[i]
 	s.page = page
-	s.atoms = append(s.atoms[:0], atoms...)
+	s.atoms = append(s.atoms[:0], atoms...) //xmem:alloc-ok slot-owned storage: capacity reaches chunksPerPage after the slot's first fill and is reused
 	b.pushFront(i)
-	b.byPage[page] = i
+	b.byPage[page] = i //xmem:alloc-ok byPage is pre-sized to the entry count and holds at most entries keys, so insertion never grows the bucket array
 }
 
 // Covers reports whether the ALB currently caches the page containing pa,
 // without touching LRU state or counters. The span tracer uses it to tag a
 // traced access's resolution path (alb-hit vs alb-miss-aam-walk) without
 // perturbing the modeled ALB statistics.
+//
+//xmem:allocfree
+//xmem:statsneutral
 func (b *ALB) Covers(pa mem.Addr) bool {
 	_, ok := b.byPage[mem.PageIndex(pa)]
 	return ok
@@ -181,6 +190,8 @@ func (b *ALB) Covers(pa mem.Addr) bool {
 
 // InvalidatePage drops the cached entry for the page containing pa. The AMU
 // calls this when an ATOM_MAP/ATOM_UNMAP touches the page.
+//
+//xmem:allocfree
 func (b *ALB) InvalidatePage(pa mem.Addr) {
 	page := mem.PageIndex(pa)
 	i, ok := b.byPage[page]

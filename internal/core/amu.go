@@ -297,6 +297,8 @@ func (u *AMU) ExecDeactivate(id AtomID) {
 // misses read the AAM (§4.2). The path is allocation-free: a miss hands the
 // ALB the AAM page's own chunk array (or the AMU's constant empty-page
 // image) to copy into slot-owned storage.
+//
+//xmem:allocfree
 func (u *AMU) Lookup(pa mem.Addr) (AtomID, bool) {
 	u.stats.Lookups++
 	id, mapped, hit := u.alb.Lookup(pa, u.aam.granBytes)
@@ -320,6 +322,9 @@ func (u *AMU) Lookup(pa mem.Addr) (AtomID, bool) {
 // Peek resolves pa to its active atom without modeling an ATOM_LOOKUP: no
 // ALB access, no stats. The observability layer uses it so attribution
 // never perturbs the simulated hardware counters it is attributing.
+//
+//xmem:allocfree
+//xmem:statsneutral
 func (u *AMU) Peek(pa mem.Addr) (AtomID, bool) {
 	id, ok := u.aam.Lookup(pa)
 	if !ok || !u.ast.Active(id) {
@@ -330,6 +335,8 @@ func (u *AMU) Peek(pa mem.Addr) (AtomID, bool) {
 
 // LookupAttributes combines Lookup with a GAT read, returning the active
 // atom's attributes for pa.
+//
+//xmem:allocfree
 func (u *AMU) LookupAttributes(pa mem.Addr) (AtomID, Attributes, bool) {
 	id, ok := u.Lookup(pa)
 	if !ok {

@@ -47,6 +47,9 @@ func (t *AST) Deactivate(id AtomID) {
 }
 
 // Active reports whether atom id is currently active.
+//
+//xmem:allocfree
+//xmem:statsneutral
 func (t *AST) Active(id AtomID) bool {
 	if int(id) >= t.max {
 		return false

@@ -28,6 +28,9 @@ func (g *GAT) Atom(id AtomID) (Atom, bool) {
 
 // Attributes returns the attributes of atom id, or the zero Attributes if
 // the ID is unknown (a harmless no-information hint).
+//
+//xmem:allocfree
+//xmem:statsneutral
 func (g *GAT) Attributes(id AtomID) Attributes {
 	if int(id) >= len(g.atoms) {
 		return Attributes{}

@@ -54,12 +54,16 @@ func Done(cycle uint64) Result { return Result{cycle: cycle} }
 func Pending(f *Future) Result { return Result{fut: f} }
 
 // Peek returns the completion cycle if it is known without forcing.
+//
+//xmem:statsneutral
 func (r Result) Peek() (uint64, bool) {
 	if r.fut == nil {
 		return r.cycle, true
 	}
 	if r.fut.Resolved() {
-		return r.fut.Force(), true
+		// Force on a resolved future is a pure read: Resolve cleared the
+		// callback, so no scheduler work can run from here.
+		return r.fut.Force(), true //xmem:stats-ok Force after Resolved() returns the stored cycle; the force callback was nilled by Resolve
 	}
 	return 0, false
 }

@@ -117,6 +117,8 @@ func (m *Machine) observeDRAM() {
 // recorded at Malloc time (§4.1.2: the allocator knows each region's atom
 // before first touch). The AMU peek is stats-neutral, so attribution never
 // disturbs the modeled ALB/AAM counters.
+//
+//xmem:statsneutral
 func (m *Machine) resolveAtom(pa mem.Addr) xm.AtomID {
 	if id, ok := m.amu.Peek(pa); ok {
 		return id

@@ -58,6 +58,8 @@ func (m *Machine) enableSpans() {
 // IssueMem closure, after any ROB/LSQ stall): the AMU resolution stage is
 // recorded stats-neutrally (ALB.Covers + AMU.Peek touch no modeled
 // counters) and the span registers for DRAM-stage matching.
+//
+//xmem:statsneutral
 func (m *Machine) spanBegin(kind mem.AccessKind, pa, pc mem.Addr, at uint64) {
 	ss := m.spans
 	ss.sweep()
@@ -85,6 +87,8 @@ func (m *Machine) spanBegin(kind mem.AccessKind, pa, pc mem.Addr, at uint64) {
 // spanFinish closes the access window: cur detaches, and the span either
 // publishes immediately (completion already known — cache hits) or parks on
 // the pending list until its future resolves on its own.
+//
+//xmem:statsneutral
 func (m *Machine) spanFinish() {
 	ss := m.spans
 	sp := ss.cur
@@ -101,6 +105,8 @@ func (m *Machine) spanFinish() {
 // unclamped (mem.Result.DeferredMax); lazy FR-FCFS draining can resolve that
 // fill to a cycle before this access even issued, so End is floored at Start
 // — the data was already on its way and arrives "immediately".
+//
+//xmem:statsneutral
 func (ss *spanState) publish(sp *span.Span, done uint64) {
 	if done < sp.Start {
 		done = sp.Start
@@ -115,6 +121,8 @@ func (ss *spanState) publish(sp *span.Span, done uint64) {
 
 // sweep publishes every pending span whose future has resolved since the
 // last look. Peek never forces, so sweeping is invisible to the schedule.
+//
+//xmem:statsneutral
 func (ss *spanState) sweep() {
 	if len(ss.pending) == 0 {
 		return
@@ -134,6 +142,8 @@ func (ss *spanState) sweep() {
 // observeSpanCache turns one cache level's outcome into a span stage with
 // the attribute-tied reason code. Events for other lines (none can occur
 // while cur is set, but the check keeps it airtight) are ignored.
+//
+//xmem:statsneutral
 func (m *Machine) observeSpanCache(ev cache.SpanEvent) {
 	ss := m.spans
 	sp := ss.cur
@@ -186,6 +196,8 @@ func (m *Machine) observePrefetchIssue(id xm.AtomID, n int) {
 
 // spanNoteThrottle records on the current span that its prefetches were
 // dropped by the §5.1 bandwidth-aware throttle.
+//
+//xmem:statsneutral
 func (m *Machine) spanNoteThrottle(n int) {
 	if n == 0 {
 		return

@@ -143,6 +143,16 @@ func TestSpanTimingNeutral(t *testing.T) {
 	if base.Instructions != traced.Instructions || base.DRAM != traced.DRAM {
 		t.Errorf("tracing changed execution: %+v vs %+v", base.DRAM, traced.DRAM)
 	}
+	// The tracer reads the AMU through Covers/Peek only; every modeled
+	// lookup counter and the ALB hit stream must be bit-identical. This is
+	// the dynamic twin of the statsneutral static contract on the span
+	// hooks: a stats store smuggled into the Peek path fails here.
+	if base.AMU != traced.AMU {
+		t.Errorf("tracing perturbed AMU stats: %+v untraced, %+v traced", base.AMU, traced.AMU)
+	}
+	if base.ALBHitRate != traced.ALBHitRate {
+		t.Errorf("tracing perturbed ALB hit rate: %v untraced, %v traced", base.ALBHitRate, traced.ALBHitRate)
+	}
 	if traced.Spans == nil || len(traced.Spans.Spans) == 0 {
 		t.Fatal("traced run retained no spans")
 	}
