@@ -5,8 +5,8 @@ GO ?= go
 
 .PHONY: all build test test-short vet xmem-vet vet-json vet-hotpath \
         infer-validate lint fmtcheck check bench bench-snapshot bench-hotpath \
-        alloc-gate race sweep-smoke metrics-smoke trace-smoke experiments \
-        experiments-paper examples clean
+        alloc-gate race race-multi bench-multi sweep-smoke metrics-smoke \
+        trace-smoke experiments experiments-paper examples clean
 
 all: build vet test
 
@@ -77,6 +77,19 @@ bench-hotpath:
 # is the main concurrent surface).
 race:
 	$(GO) test -race ./...
+
+# Race-checked determinism gate for the bound–weave parallel scheduler: the
+# multicore and bound–weave tests (including the byte-identical-across-
+# GOMAXPROCS determinism test) under the race detector. Cheap enough to run
+# on every change to internal/sim.
+race-multi:
+	$(GO) test -race -run 'Multi|BoundWeave|WeaveGuard' -v ./internal/sim/
+
+# Record the bound–weave speedup envelope (BENCH_multi.json): paired
+# sequential-vs-parallel co-run walltime, determinism re-check, and — on
+# machines with >=8 hardware threads — a >=3x speedup gate.
+bench-multi:
+	sh scripts/bench_multi.sh
 
 # End-to-end sweep smoke: a tiny 4-point parallel sweep, checkpointed,
 # then resumed — the resume must restore every point and print the same

@@ -8,6 +8,7 @@
 //	xmem-sim -workload gemm -n 256 -tile 131072 -l3 262144 -system xmem
 //	xmem-sim -workload libq -scale 0.3 -alloc xmem -scheme ro:ra:ba:co:ch
 //	xmem-sim -workload gemm,2mm,libq -parallel 4
+//	xmem-sim -multi -workload gemm,stream,stream -system xmem
 //
 // Use-case-1 kernels are selected by kernel name (-tile applies); use-case-2
 // synthetic workloads by suite name (-scale applies). A comma-separated
@@ -16,6 +17,12 @@
 // and -checkpoint/-resume skip already-completed workloads. The metrics and
 // span-tracing flags (-metrics, -progress, -atoms-top, -span-sample,
 // -span-out) apply to single-workload runs.
+//
+// With -multi the comma-separated workloads co-run on ONE multi-core
+// machine — one core each, private hierarchies, shared memory controller —
+// under the bound–weave parallel scheduler (deterministic: byte-identical
+// output regardless of GOMAXPROCS). -seq swaps in the serial reference
+// scheduler and -weave-window tunes the bound-phase length.
 package main
 
 import (
@@ -60,6 +67,10 @@ func main() {
 		spanSample = flag.Uint64("span-sample", 0, "trace 1 in N demand accesses as causal spans (0 = off)")
 		spanBuf    = flag.Int("span-buf", 0, "retained-span ring capacity (0 = default)")
 		spanOut    = flag.String("span-out", "", "write sampled spans to this file (.trace.json/.chrome.json = Chrome trace, else JSONL; requires -span-sample)")
+
+		multi       = flag.Bool("multi", false, "co-run the comma-separated -workload list on one multi-core machine (one core per workload)")
+		seq         = flag.Bool("seq", false, "with -multi: use the serial reference scheduler instead of bound–weave")
+		weaveWindow = flag.Uint64("weave-window", 0, "with -multi: bound-phase window in cycles (0 = scheduler quantum)")
 
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for a comma-separated -workload sweep (1 = sequential)")
 		timeout    = flag.Duration("timeout", 0, "per-workload timeout for sweeps (0 = none)")
@@ -128,6 +139,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "xmem-sim: infer smoke FAILED: declaring attributes made the memory system worse")
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *multi {
+		ws := make([]workload.Workload, len(names))
+		for i, wname := range names {
+			w, err := resolveWorkload(wname, *n, *tile, *steps, *scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xmem-sim: %v\n", err)
+				os.Exit(2)
+			}
+			ws[i] = w
+		}
+		cfg := sim.MultiConfig{
+			Core:        baseConfig(),
+			Parallel:    !*seq,
+			WeaveWindow: *weaveWindow,
+		}
+		res, err := sim.RunMulti(cfg, ws)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmem-sim: %v\n", err)
+			os.Exit(1)
+		}
+		printMultiResult(os.Stdout, res)
 		return
 	}
 
@@ -307,6 +342,34 @@ func printResult(w io.Writer, r sim.Result) {
 		for _, warn := range r.InvariantWarnings {
 			fmt.Fprintf(w, "  %s\n", warn)
 		}
+	}
+}
+
+// printMultiResult renders a co-run: one row per core, then the shared
+// controller's machine-wide counters. In bound–weave mode the skew column
+// is the total contention delay the weave phase charged the core.
+func printMultiResult(w io.Writer, r sim.MultiResult) {
+	scheduler := "sequential"
+	if r.Parallel {
+		scheduler = "bound-weave"
+	}
+	fmt.Fprintf(w, "multicore       %d cores, %s scheduler\n", len(r.Cores), scheduler)
+	fmt.Fprintf(w, "cycles          %d (slowest core)\n", r.Cycles)
+	fmt.Fprintf(w, "\ncore  %-14s %12s %8s %10s %10s %12s\n",
+		"workload", "cycles", "IPC", "L3 miss%", "L3 MPKI", "weave skew")
+	for i, c := range r.Cores {
+		skew := "-"
+		if r.WeaveSkew != nil {
+			skew = fmt.Sprintf("%d", r.WeaveSkew[i])
+		}
+		fmt.Fprintf(w, "  %2d  %-14s %12d %8.3f %9.2f%% %10.2f %12s\n",
+			i, c.Workload, c.Cycles, c.IPC, 100*c.L3.DemandMissRate(), c.L3MPKI, skew)
+	}
+	fmt.Fprintf(w, "\nshared DRAM     reads %d  writes %d  row-hit %.1f%%\n",
+		r.DRAM.Reads, r.DRAM.Writes, 100*r.DRAM.RowHitRate())
+	fmt.Fprintf(w, "  read latency  %.0f cycles avg (demand)\n", r.DRAM.AvgDemandReadLatency())
+	if r.RemoteFraction > 0 {
+		fmt.Fprintf(w, "  NUMA remote   %.1f%% of accesses\n", 100*r.RemoteFraction)
 	}
 }
 

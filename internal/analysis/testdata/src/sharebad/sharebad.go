@@ -57,3 +57,62 @@ func inlineCapture(m *sim.Machine) error {
 func storeGlobal(m *sim.Machine) {
 	leakedMachine = m // want "stored into package-level variable"
 }
+
+// task is a carrier: it holds a Machine, so capturing it hands the Machine
+// over unless the goroutine proves the ownership-transfer protocol.
+type task struct {
+	m     *sim.Machine
+	start chan struct{}
+	done  chan struct{}
+}
+
+// leakedTask is the package-level escape target for carriers.
+var leakedTask *task
+
+// wrapperCapture captures the carrier with no protocol at all: the first
+// use reaches straight through to the Machine.
+func wrapperCapture(t *task) {
+	go func() {
+		_ = t.m // want "without the ownership-transfer protocol"
+		close(t.done)
+	}()
+}
+
+// noRelinquish receives the token but never sends it onward: the goroutine
+// keeps using the carrier after the owner may have resumed.
+func noRelinquish(t *task) {
+	go func() {
+		<-t.start // want "without the ownership-transfer protocol"
+		_ = t.m
+	}()
+}
+
+// useAfterSend relinquishes mid-body and then touches the carrier again —
+// the last use is not the send.
+func useAfterSend(t *task) {
+	go func() {
+		<-t.start // want "without the ownership-transfer protocol"
+		t.done <- struct{}{}
+		_ = t.m
+	}()
+}
+
+// carrierSweep: sweep points run concurrently, so no token protocol can
+// serialize them — a captured carrier is always a finding there.
+func carrierSweep(t *task) error {
+	points := []runner.Point[int]{{
+		Key: "p0",
+		Run: func(c *runner.Ctx) (int, error) {
+			_ = t.m // want "without the ownership-transfer protocol"
+			return 0, nil
+		},
+	}}
+	_, err := runner.Run("sharebad-carrier", points, runner.Options{Parallel: 1})
+	return err
+}
+
+// carrierGlobal parks the carrier — and the Machine it holds — in package
+// scope.
+func carrierGlobal(t *task) {
+	leakedTask = t // want "stored into package-level variable"
+}

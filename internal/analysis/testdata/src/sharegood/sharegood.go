@@ -26,19 +26,58 @@ func pointPrivate(cfg sim.Config, w workload.Workload) error {
 	return err
 }
 
-// task wraps a Machine; capturing the wrapper is the owner's business (the
-// multicore scheduler's token-passing protocol does exactly this), so only
-// the root identifier's type counts.
+// task is a carrier: it wraps a Machine together with the token channels of
+// the multicore schedulers' ownership-transfer protocol. Capturing it in a
+// goroutine is accepted only when the body proves the protocol.
 type task struct {
-	m    *sim.Machine
-	done chan struct{}
+	m     *sim.Machine
+	start chan struct{}
+	done  chan struct{}
+	reqs  chan int
 }
 
-// wrapperCapture captures the wrapper, not the Machine.
-func wrapperCapture(t *task) {
+// handoff returns the channel that passes the token onward (the coreTask
+// shape: the relinquishing send computes its destination from the carrier).
+func (t *task) handoff() chan<- struct{} { return t.done }
+
+// tokenProtocol is the proven-safe scheduler shape: the goroutine owns
+// nothing until the token arrives (first use is a receive from a carrier
+// channel field) and its last use relinquishes it with a send.
+func tokenProtocol(t *task) {
 	go func() {
+		<-t.start
 		_ = t.m
-		close(t.done)
+		t.done <- struct{}{}
+	}()
+}
+
+// handoffSend: the final send may compute its channel from the carrier —
+// `t.handoff() <- token{}` still places the last use inside a send.
+func handoffSend(t *task) {
+	go func() {
+		<-t.start
+		_ = t.m
+		t.handoff() <- struct{}{}
+	}()
+}
+
+// rangeProtocol: ranging over a carrier channel field also gates the first
+// use on token arrival.
+func rangeProtocol(t *task) {
+	go func() {
+		for range t.reqs {
+			_ = t.m
+		}
+		t.done <- struct{}{}
+	}()
+}
+
+// sliceOfCarriers: a slice of carriers is not itself a carrier — flagging
+// would hit every scheduler's peers table; ownership of the elements is the
+// elements' protocol's business.
+func sliceOfCarriers(tasks []*task) {
+	go func() {
+		_ = len(tasks)
 	}()
 }
 

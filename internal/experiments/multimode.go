@@ -1,0 +1,33 @@
+package experiments
+
+import "xmem/internal/sim"
+
+// MultiMode selects the multicore scheduler for the sweeps that run
+// multi-programmed machines (co-run, NUMA). The zero value is the serial
+// reference scheduler — the committed experiment results are produced with
+// it, so published numbers stay scheduler-independent; Parallel switches to
+// the bound–weave scheduler (sim.MultiConfig.Parallel), which is
+// deterministic but a bounded approximation of the serial interleaving (see
+// DESIGN.md, "Parallel simulation (bound–weave)").
+type MultiMode struct {
+	// Parallel selects the bound–weave two-phase scheduler.
+	Parallel bool
+	// WeaveWindow is the bound-phase length in cycles (0 = the quantum).
+	WeaveWindow uint64
+}
+
+// apply stamps the mode onto a machine configuration.
+func (m MultiMode) apply(cfg *sim.MultiConfig) {
+	cfg.Parallel = m.Parallel
+	cfg.WeaveWindow = m.WeaveWindow
+}
+
+// sweepSuffix distinguishes checkpoint/registry namespaces: bound–weave
+// results are a different (if close) population than serial ones, so a
+// resumed sweep must never mix the two.
+func (m MultiMode) sweepSuffix() string {
+	if m.Parallel {
+		return "-bw"
+	}
+	return ""
+}

@@ -1,0 +1,426 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"xmem/internal/core"
+	"xmem/internal/dram"
+	"xmem/internal/kernel"
+	"xmem/internal/mem"
+	"xmem/internal/numa"
+	"xmem/internal/workload"
+)
+
+// This file implements the zsim-style bound–weave two-phase parallel
+// scheduler for multi-core simulations.
+//
+// Bound phase: every live core runs one window concurrently on its own
+// goroutine. The private L1/L2/L3 and prefetchers need no changes; what
+// would be an access to the shared DRAM/NUMA memory instead goes to a
+// per-core *shadow* of it — an identically-configured private instance that
+// yields the optimistic, contention-free latency — and is recorded into the
+// core's cycle-ordered event buffer.
+//
+// Weave phase: at the window barrier the scheduler merges all buffers in
+// deterministic (cycle, core, sequence) order and replays them through the
+// real shared memory system, which sees the full interleaved request
+// stream and schedules it with FR-FCFS exactly as the sequential mode
+// would. Each core is then charged a skew — the largest amount by which
+// one of its demand accesses completed later under contention than the
+// bound phase assumed — applied to its issue point at the next window.
+//
+// Determinism holds by construction: nothing in either phase depends on
+// goroutine scheduling or GOMAXPROCS. Core goroutines share no mutable
+// state (each owns its machine, shadow memory, frame-space share, and
+// event buffer), the barrier collects in fixed core order, the merge order
+// is a total order, and the replay is serial.
+
+// boundEvent is one recorded shared-memory access.
+type boundEvent struct {
+	at   uint64
+	pa   mem.Addr
+	pc   mem.Addr
+	kind mem.AccessKind
+	// opt is the optimistic completion from the private shadow; the weave
+	// phase compares it against the contended replay to compute skew.
+	opt mem.Result
+}
+
+// boundRecorder is the memory system a core sees during the bound phase:
+// it forwards every access to the core's private shadow (for optimistic
+// timing) and records it for the weave replay. Ownership transfers to the
+// weave goroutine at the window barrier and back at release — the
+// quantum-scoped ownership-transfer pattern the noshare analyzer proves.
+type boundRecorder struct {
+	shadow memorySystem
+	events []boundEvent
+	// sharedBusBusy is the shared controller's cumulative data-bus
+	// occupancy as of the last weave barrier. Stats() substitutes it for
+	// the shadow's private counter so the XMem prefetcher's bandwidth
+	// throttle reacts to machine-wide utilization, as it does in
+	// sequential mode (one window stale — the bound phase cannot know the
+	// current window's contention before it is woven).
+	sharedBusBusy uint64
+}
+
+// Access implements cache.Lower.
+func (r *boundRecorder) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr) mem.Result {
+	res := r.shadow.Access(pa, kind, at, pc)
+	r.events = append(r.events, boundEvent{at: at, pa: pa, pc: pc, kind: kind, opt: res})
+	return res
+}
+
+// DrainAll finishes the shadow.
+func (r *boundRecorder) DrainAll() { r.shadow.DrainAll() }
+
+// Stats returns the shadow's counters with the machine-wide bus occupancy
+// patched in (see sharedBusBusy).
+func (r *boundRecorder) Stats() dram.Stats {
+	s := r.shadow.Stats()
+	s.BusBusy = r.sharedBusBusy
+	return s
+}
+
+// Mapping delegates to the shadow (identical geometry to the shared
+// system, so bank-aware allocation sees the true mapping).
+func (r *boundRecorder) Mapping() *dram.Mapping { return r.shadow.Mapping() }
+
+// weaveGuard wraps the shared replay memory and asserts the bound–weave
+// ownership invariant at run time: the weave-phase replay is the only
+// writer to the shared memory system and its stats. Any access outside the
+// weave phase means a wiring bug (a core was handed the shared system
+// instead of its shadow) and panics immediately rather than letting a
+// racy, nondeterministic simulation run to completion.
+type weaveGuard struct {
+	inner   memorySystem
+	inWeave *atomic.Bool
+}
+
+func (g *weaveGuard) check() {
+	if !g.inWeave.Load() {
+		panic("sim: shared memory system accessed outside the weave phase (bound-phase code must use its private shadow)")
+	}
+}
+
+// Access implements cache.Lower.
+func (g *weaveGuard) Access(pa mem.Addr, kind mem.AccessKind, at uint64, pc mem.Addr) mem.Result {
+	g.check()
+	return g.inner.Access(pa, kind, at, pc)
+}
+
+// DrainAll flushes the shared system (weave phase only).
+func (g *weaveGuard) DrainAll() {
+	g.check()
+	g.inner.DrainAll()
+}
+
+// Stats is a read and is allowed from any phase.
+func (g *weaveGuard) Stats() dram.Stats { return g.inner.Stats() }
+
+// Mapping is a read and is allowed from any phase.
+func (g *weaveGuard) Mapping() *dram.Mapping { return g.inner.Mapping() }
+
+// numaCfg translates the sim-level NUMA configuration.
+func numaCfg(cfg MultiConfig) numa.Config {
+	return numa.Config{
+		Nodes:         cfg.NUMA.Nodes,
+		NodeBytes:     cfg.NUMA.NodeBytes,
+		RemoteLatency: cfg.NUMA.RemoteLatency,
+		Scheme:        cfg.Core.Scheme,
+		Timing:        cfg.Core.Timing,
+	}
+}
+
+// buildShadow assembles core i's private bound-phase memory: an
+// identically-configured shadow of the shared memory system plus the
+// core's private share of the physical frame space (shares partition the
+// frame set deterministically, so concurrent Mallocs neither race nor
+// depend on scheduling).
+func buildShadow(cfg MultiConfig, atoms []core.Atom, i, parts int) (memorySystem, kernel.FrameAllocator, kernel.PlacementPolicy, error) {
+	if cfg.NUMA != nil {
+		nm, err := numa.New(numaCfg(cfg))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		node := i % nm.Nodes()
+		policy, err := numaPolicy(cfg.NUMA, atoms, node, nm.Nodes())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		alloc := numa.NewAllocatorShare(cfg.NUMA.Nodes, cfg.NUMA.NodeBytes, i, parts)
+		return &numa.Port{Mem: nm, Node: node}, alloc, policy, nil
+	}
+	ctl, err := newDRAMController(cfg.Core)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var alloc kernel.FrameAllocator
+	var policy kernel.PlacementPolicy
+	switch cfg.Core.Alloc {
+	case AllocSequential, "":
+		alloc = kernel.NewSequentialAllocatorShare(cfg.Core.Geometry.CapacityBytes, i, parts)
+	case AllocRandom:
+		alloc = kernel.NewRandomizedAllocatorShare(cfg.Core.Geometry.CapacityBytes, cfg.Core.AllocSeed, i, parts)
+	case AllocXMemPlacement:
+		alloc = kernel.NewBankedAllocatorShare(ctl.Mapping(), i, parts)
+		policy = kernel.NewXMemPlacement(atoms, cfg.Core.Geometry.BanksPerChannel())
+	default:
+		return nil, nil, nil, fmt.Errorf("sim: unknown alloc policy %q", cfg.Core.Alloc)
+	}
+	return ctl, alloc, policy, nil
+}
+
+// runBoundWeave is RunMulti's parallel scheduler.
+func runBoundWeave(cfg MultiConfig, ws []workload.Workload, quantum uint64) (MultiResult, error) {
+	window := cfg.WeaveWindow
+	if window == 0 {
+		window = quantum
+	}
+	if cfg.Core.Hybrid != nil {
+		return MultiResult{}, fmt.Errorf("sim: parallel multicore does not support hybrid memory; use the sequential scheduler")
+	}
+	n := len(ws)
+
+	// Shared replay target, reachable only through the weave guard.
+	var inWeave atomic.Bool
+	targets := make([]memorySystem, n) // per-core replay port
+	var sharedStats func() dram.Stats
+	var numaMem *numa.Memory
+	if cfg.NUMA != nil {
+		nm, err := numa.New(numaCfg(cfg))
+		if err != nil {
+			return MultiResult{}, err
+		}
+		numaMem = nm
+		for i := range targets {
+			targets[i] = &weaveGuard{
+				inner:   &numa.Port{Mem: nm, Node: i % nm.Nodes()},
+				inWeave: &inWeave,
+			}
+		}
+		sharedStats = nm.Stats
+	} else {
+		ctl, err := newDRAMController(cfg.Core)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		g := &weaveGuard{inner: ctl, inWeave: &inWeave}
+		for i := range targets {
+			targets[i] = g
+		}
+		sharedStats = ctl.Stats
+	}
+
+	tasks := make([]*coreTask, n)
+	for i, w := range ws {
+		atoms, err := declareAtoms(w)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		if cfg.Core.StripAtomAttrs {
+			stripAtomAttrs(atoms)
+		}
+		shadow, alloc, policy, err := buildShadow(cfg, atoms, i, n)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		rec := &boundRecorder{shadow: shadow}
+		m, err := buildMachine(cfg.Core, w, atoms, rec, alloc, policy)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		t := &coreTask{
+			m:      m,
+			start:  make(chan token),
+			finish: make(chan token),
+			rec:    rec,
+		}
+		m.yield = func(cycle uint64) {
+			t.cycle = cycle
+			if cycle >= t.quantumEnd {
+				t.finish <- token{}
+				<-t.start
+			}
+		}
+		tasks[i] = t
+	}
+
+	// One goroutine per core. The body follows the ownership-transfer
+	// protocol the noshare analyzer proves: first use receives the run
+	// token from the task's channel, last use relinquishes the task (and
+	// its event buffer) to the weave goroutine with a send.
+	for _, t := range tasks {
+		t := t
+		go func() {
+			<-t.start
+			t.m.w.Run(t.m)
+			t.finalCycle = t.m.core.Finish()
+			t.cycle = t.finalCycle
+			t.done = true
+			t.finish <- token{}
+		}()
+	}
+
+	res := MultiResult{Parallel: true, WeaveSkew: make([]uint64, n)}
+	wv := newWeaver(n)
+	released := make([]*coreTask, 0, n)
+	var windowEnd uint64
+	for {
+		minCycle, live := ^uint64(0), false
+		for _, t := range tasks {
+			if !t.done {
+				live = true
+				if t.cycle < minCycle {
+					minCycle = t.cycle
+				}
+			}
+		}
+		if !live {
+			break
+		}
+		// The window must strictly exceed the furthest-behind live core's
+		// cycle, so every released core makes progress.
+		if windowEnd <= minCycle {
+			windowEnd = minCycle + window
+		}
+		released = released[:0]
+		for _, t := range tasks {
+			if !t.done && t.cycle < windowEnd {
+				t.quantumEnd = windowEnd
+				released = append(released, t)
+			}
+		}
+		// Bound phase: released cores run concurrently against their
+		// private shadows.
+		for _, t := range released {
+			t.start <- token{}
+		}
+		// Barrier: collect in fixed core order. These channel operations
+		// also establish the happens-before edges that hand each event
+		// buffer from its bound goroutine to this goroutine.
+		for _, t := range released {
+			<-t.finish
+		}
+		// Weave phase: serial, deterministic replay through the real
+		// shared memory; skew charges follow at the window boundary.
+		inWeave.Store(true)
+		wv.replay(tasks, targets)
+		inWeave.Store(false)
+		busBusy := sharedStats().BusBusy
+		for i, t := range tasks {
+			if d := wv.skew[i]; d > 0 {
+				res.WeaveSkew[i] += d
+				if t.done {
+					t.finalCycle += d
+					t.cycle = t.finalCycle
+				} else {
+					t.m.core.Skew(d)
+					t.cycle += d
+				}
+			}
+			t.rec.sharedBusBusy = busBusy
+		}
+	}
+
+	inWeave.Store(true)
+	targets[0].DrainAll()
+	inWeave.Store(false)
+	res.DRAM = sharedStats()
+	if numaMem != nil {
+		res.RemoteFraction = numaMem.RemoteFraction()
+	}
+	for _, t := range tasks {
+		r := t.m.result(t.finalCycle)
+		// Per-core DRAM counters are the machine-wide replay totals (the
+		// documented MultiResult.Cores semantics); the shadow's optimistic
+		// counters are a bound-phase implementation detail.
+		r.DRAM = res.DRAM
+		res.Cores = append(res.Cores, r)
+		if t.finalCycle > res.Cycles {
+			res.Cycles = t.finalCycle
+		}
+	}
+	return res, nil
+}
+
+// weaveRef orders one recorded event in the global replay sequence.
+type weaveRef struct {
+	core int
+	idx  int
+}
+
+// weaver holds the weave phase's reusable merge/replay buffers.
+type weaver struct {
+	refs    []weaveRef
+	results []mem.Result
+	skew    []uint64
+}
+
+func newWeaver(cores int) *weaver {
+	return &weaver{skew: make([]uint64, cores)}
+}
+
+// replay merges every core's event buffer in deterministic (cycle, core,
+// sequence) order, replays the merged stream through the real shared
+// memory, and computes each core's window skew: the largest amount by
+// which one of its demand accesses completed later in the contended replay
+// than in the optimistic bound phase.
+func (w *weaver) replay(tasks []*coreTask, targets []memorySystem) {
+	for i := range w.skew {
+		w.skew[i] = 0
+	}
+	w.refs = w.refs[:0]
+	for ci, t := range tasks {
+		for ei := range t.rec.events {
+			w.refs = append(w.refs, weaveRef{core: ci, idx: ei})
+		}
+	}
+	if len(w.refs) == 0 {
+		return
+	}
+	sort.Slice(w.refs, func(a, b int) bool {
+		ra, rb := w.refs[a], w.refs[b]
+		ea := &tasks[ra.core].rec.events[ra.idx]
+		eb := &tasks[rb.core].rec.events[rb.idx]
+		if ea.at != eb.at {
+			return ea.at < eb.at
+		}
+		if ra.core != rb.core {
+			return ra.core < rb.core
+		}
+		return ra.idx < rb.idx
+	})
+	// Two passes, so the controller sees the window's whole request stream
+	// before committing to a schedule: enqueue everything lazily, then
+	// force completions in replay order. This preserves FR-FCFS's freedom
+	// to reorder for row hits, exactly as the lazily-draining sequential
+	// mode does.
+	if cap(w.results) < len(w.refs) {
+		w.results = make([]mem.Result, len(w.refs))
+	}
+	results := w.results[:len(w.refs)]
+	for k, ref := range w.refs {
+		ev := &tasks[ref.core].rec.events[ref.idx]
+		results[k] = targets[ref.core].Access(ev.pa, ev.kind, ev.at, ev.pc)
+	}
+	for k, ref := range w.refs {
+		ev := &tasks[ref.core].rec.events[ref.idx]
+		actual := results[k].Wait()
+		results[k] = mem.Result{}
+		if ev.kind != mem.Read && ev.kind != mem.Write {
+			// Writebacks and prefetches never stall the core; they are
+			// replayed for scheduling and stats fidelity only.
+			continue
+		}
+		if opt := ev.opt.Wait(); actual > opt {
+			if d := actual - opt; d > w.skew[ref.core] {
+				w.skew[ref.core] = d
+			}
+		}
+	}
+	for _, t := range tasks {
+		t.rec.events = t.rec.events[:0]
+	}
+}

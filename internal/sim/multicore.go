@@ -19,13 +19,29 @@ type MultiConfig struct {
 	// flags). DRAM fields configure the single shared controller.
 	Core Config
 	// QuantumCycles is the interleaving granularity of the deterministic
-	// round-robin scheduler (0 = 500).
+	// scheduler (0 = 500).
 	QuantumCycles uint64
 	// NUMA, when set, replaces the shared controller with a multi-node
 	// memory: core i runs on node i mod Nodes, remote accesses pay the
 	// interconnect penalty, and — with XMemPlacement — each process'
 	// pages land on the node its atoms' Home attributes name.
 	NUMA *NUMAConfig
+	// Parallel selects the zsim-style bound–weave two-phase scheduler:
+	// every core runs its window concurrently against a private shadow
+	// memory (optimistic, uncontended latency), and at the window barrier
+	// the recorded shared-memory events are replayed serially through the
+	// real controller in deterministic (cycle, core, sequence) order,
+	// charging each core the contention skew the replay discovers. Output
+	// is deterministic by construction — identical across GOMAXPROCS
+	// settings and repeated runs — but is an approximation of the
+	// sequential scheduler's interleaving (see DESIGN.md, "Parallel
+	// simulation (bound–weave)"). False keeps the serial reference
+	// scheduler, which interleaves cores on one goroutine.
+	Parallel bool
+	// WeaveWindow is the bound-phase length in cycles for Parallel mode
+	// (0 = QuantumCycles). Longer windows amortize barriers but let cores
+	// run further on optimistic latency before skew correction.
+	WeaveWindow uint64
 }
 
 // NUMAConfig sizes the multi-node memory.
@@ -55,28 +71,87 @@ type MultiResult struct {
 	Cores []Result
 	// Cycles is the finishing time of the slowest core.
 	Cycles uint64
-	// DRAM is the shared controller's final counters.
+	// DRAM is the shared controller's final counters. In parallel mode
+	// these are the weave-phase replay's counters: every recorded event
+	// goes through the real controller exactly once, so command counts
+	// match the sequential mode exactly and row-buffer/latency figures
+	// reflect the replayed interleaving.
 	DRAM dram.Stats
 	// RemoteFraction is the share of memory accesses that crossed the
 	// NUMA interconnect (0 on non-NUMA machines).
 	RemoteFraction float64
+	// Parallel records which scheduler produced this result.
+	Parallel bool
+	// WeaveSkew is the total contention skew in cycles the weave phase
+	// charged each core over the whole run (nil in sequential mode).
+	WeaveSkew []uint64
 }
+
+// token is the ownership baton the schedulers pass between core goroutines:
+// holding it grants the right to run the core and (in sequential mode) to
+// touch the shared memory system.
+type token struct{}
 
 // coreTask is the scheduler's view of one running core.
 type coreTask struct {
-	m          *Machine
-	resume     chan struct{}
-	yielded    chan struct{}
+	m *Machine
+	// start carries the token granting the core the right to run; finish
+	// returns it. In sequential mode finish is the run's shared completion
+	// channel (cores hand the token directly to each other); in parallel
+	// mode it is the per-core barrier the weave phase collects on.
+	start  chan token
+	finish chan token
+
 	cycle      uint64
 	quantumEnd uint64
 	done       bool
 	finalCycle uint64
+
+	// Sequential-mode handoff state: the yielding core itself picks the
+	// next runnable peer.
+	peers   []*coreTask
+	quantum uint64
+
+	// Parallel-mode event buffer (nil in sequential mode).
+	rec *boundRecorder
 }
 
-// RunMulti executes the workloads concurrently, one per core, with
-// deterministic lockstep interleaving: the scheduler always resumes the
-// core with the lowest local cycle and lets it run one quantum. Cores share
+// nextLive returns the runnable task with the smallest local cycle, ties to
+// the lowest index — the deterministic lockstep order. nil means every core
+// has finished.
+func (t *coreTask) nextLive() *coreTask {
+	var next *coreTask
+	for _, p := range t.peers {
+		if p.done {
+			continue
+		}
+		if next == nil || p.cycle < next.cycle {
+			next = p
+		}
+	}
+	return next
+}
+
+// handoff primes the next runnable core's quantum and returns the channel
+// that transfers the token to it; with no live core left it returns the
+// run's completion channel.
+func (t *coreTask) handoff() chan<- token {
+	if next := t.nextLive(); next != nil {
+		next.quantumEnd = next.cycle + next.quantum
+		return next.start
+	}
+	return t.finish
+}
+
+// RunMulti executes the workloads concurrently, one per core. Cores share
 // the memory controller and physical memory; everything else is private.
+//
+// The default (sequential) scheduler interleaves cores deterministically on
+// one goroutine's worth of execution at a time: the live core with the
+// lowest local cycle runs one quantum, then hands the token to the next.
+// With cfg.Parallel the bound–weave scheduler runs all cores' windows
+// concurrently and replays their shared-memory traffic at the barrier (see
+// MultiConfig.Parallel).
 func RunMulti(cfg MultiConfig, ws []workload.Workload) (MultiResult, error) {
 	if len(ws) == 0 {
 		return MultiResult{}, fmt.Errorf("sim: no workloads")
@@ -84,6 +159,9 @@ func RunMulti(cfg MultiConfig, ws []workload.Workload) (MultiResult, error) {
 	quantum := cfg.QuantumCycles
 	if quantum == 0 {
 		quantum = 500
+	}
+	if cfg.Parallel {
+		return runBoundWeave(cfg, ws, quantum)
 	}
 
 	// Shared memory system: one controller, or a multi-node NUMA memory.
@@ -111,6 +189,7 @@ func RunMulti(cfg MultiConfig, ws []workload.Workload) (MultiResult, error) {
 		}
 	}
 
+	allDone := make(chan token)
 	tasks := make([]*coreTask, len(ws))
 	for i, w := range ws {
 		atoms, err := declareAtoms(w)
@@ -125,17 +204,9 @@ func RunMulti(cfg MultiConfig, ws []workload.Workload) (MultiResult, error) {
 		if numaMem != nil {
 			node := i % numaMem.Nodes()
 			coreCtl = &numa.Port{Mem: numaMem, Node: node}
-			switch cfg.NUMA.Placement {
-			case "", "interleave":
-				// nil policy: the allocator interleaves.
-			case "node0":
-				policy = fixedNodePolicy{}
-			case "xmem":
-				policy = numa.NewPlacement(atoms, node, func(t int) int {
-					return t % numaMem.Nodes()
-				})
-			default:
-				return MultiResult{}, fmt.Errorf("sim: unknown NUMA placement %q", cfg.NUMA.Placement)
+			policy, err = numaPolicy(cfg.NUMA, atoms, node, numaMem.Nodes())
+			if err != nil {
+				return MultiResult{}, err
 			}
 		} else if cfg.Core.Alloc == AllocXMemPlacement {
 			policy = kernel.NewXMemPlacement(atoms, cfg.Core.Geometry.BanksPerChannel())
@@ -146,52 +217,57 @@ func RunMulti(cfg MultiConfig, ws []workload.Workload) (MultiResult, error) {
 		}
 		t := &coreTask{
 			m:       m,
-			resume:  make(chan struct{}),
-			yielded: make(chan struct{}),
+			start:   make(chan token),
+			finish:  allDone,
+			quantum: quantum,
 		}
 		m.yield = func(cycle uint64) {
 			t.cycle = cycle
-			if cycle >= t.quantumEnd {
-				t.yielded <- struct{}{}
-				<-t.resume
+			if cycle < t.quantumEnd {
+				return
 			}
+			next := t.nextLive()
+			if next == t {
+				// Still the furthest-behind core: continue in place.
+				// This self-continuation is the common case for balanced
+				// co-runners and costs zero channel operations.
+				t.quantumEnd = cycle + t.quantum
+				return
+			}
+			next.quantumEnd = next.cycle + next.quantum
+			next.start <- token{}
+			<-t.start
 		}
 		tasks[i] = t
 	}
+	for _, t := range tasks {
+		t.peers = tasks
+	}
 
-	// One goroutine per core; a single token circulates, so exactly one
-	// core touches the shared structures at any moment.
+	// One goroutine per core; a single token circulates directly between
+	// cores (no central scheduler goroutine), so exactly one core touches
+	// the shared structures at any moment. The body follows the ownership-
+	// transfer protocol the noshare analyzer proves: first use receives the
+	// token from the task's channel, last use relinquishes it with a send.
 	for _, t := range tasks {
 		t := t
 		go func() {
-			<-t.resume
+			<-t.start
 			t.m.w.Run(t.m)
 			t.finalCycle = t.m.core.Finish()
 			t.cycle = t.finalCycle
 			t.done = true
-			t.yielded <- struct{}{}
+			t.handoff() <- token{}
 		}()
 	}
 
-	for {
-		// Resume the live core with the smallest local cycle (ties go to
-		// the lowest index) — deterministic lockstep.
-		var next *coreTask
-		for _, t := range tasks {
-			if t.done {
-				continue
-			}
-			if next == nil || t.cycle < next.cycle {
-				next = t
-			}
-		}
-		if next == nil {
-			break
-		}
-		next.quantumEnd = next.cycle + quantum
-		next.resume <- struct{}{}
-		<-next.yielded
-	}
+	// Inject the token at the deterministic first pick (all cycles are 0,
+	// so ties resolve to core 0) and wait for the last core to return it.
+	first := tasks[0]
+	first.quantumEnd = first.cycle + quantum
+	first.start <- token{}
+	<-allDone
+
 	var res MultiResult
 	if numaMem != nil {
 		numaMem.DrainAll()
@@ -209,6 +285,23 @@ func RunMulti(cfg MultiConfig, ws []workload.Workload) (MultiResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// numaPolicy resolves the placement policy for a core on the given node.
+func numaPolicy(nc *NUMAConfig, atoms []core.Atom, node, nodes int) (kernel.PlacementPolicy, error) {
+	switch nc.Placement {
+	case "", "interleave":
+		// nil policy: the allocator interleaves.
+		return nil, nil
+	case "node0":
+		return fixedNodePolicy{}, nil
+	case "xmem":
+		return numa.NewPlacement(atoms, node, func(t int) int {
+			return t % nodes
+		}), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown NUMA placement %q", nc.Placement)
+	}
 }
 
 // fixedNodePolicy pins every allocation to node 0 — the first-touch-by-

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+
+	"xmem/internal/workload"
+)
+
+// BenchmarkMultiQuantumSwitch isolates the multi-core scheduler's own
+// overhead: four compute-only workloads (no memory traffic beyond one warmup
+// line each) interleaved at a deliberately tiny quantum, so nearly all the
+// time is context handoff rather than simulation. The reported
+// ns/quantum-switch metric is the cost of suspending one core and resuming
+// the next.
+func BenchmarkMultiQuantumSwitch(b *testing.B) {
+	const (
+		cores    = 4
+		quantum  = 50
+		workPer  = 400_000 // instructions per core
+		perYield = 16      // instructions per Work call (= per yield check)
+	)
+	ws := make([]workload.Workload, cores)
+	for i := range ws {
+		ws[i] = workload.Workload{
+			Name: "spin",
+			Run: func(p workload.Program) {
+				for done := 0; done < workPer; done += perYield {
+					p.Work(perYield)
+				}
+			},
+		}
+	}
+	cfg := multiConfig()
+	cfg.QuantumCycles = quantum
+	// Each core runs workPer/IssueWidth cycles; every quantum boundary is
+	// one scheduler handoff.
+	cyclesPerCore := uint64(workPer / 4)
+	switches := float64(cores) * float64(cyclesPerCore/quantum)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := MustRunMulti(cfg, ws)
+		if res.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/switches, "ns/switch")
+}

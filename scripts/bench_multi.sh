@@ -1,0 +1,115 @@
+#!/bin/sh
+# bench_multi.sh — record the bound–weave scheduler's speedup envelope.
+#
+# Runs the 8-core streaming co-run through the top-level benchmarks two
+# ways — the serial reference scheduler (BenchmarkCorun8Seq) and the
+# bound–weave parallel scheduler (BenchmarkCorun8BoundWeave) — in
+# interleaved rounds, and writes BENCH_multi.json: raw ns/op per run,
+# medians, the paired speedup, and the host's hardware thread count.
+#
+# Two gates:
+#   - determinism (always): TestBoundWeaveDeterminism must pass right here,
+#     so the recorded numbers come from a scheduler whose output is
+#     byte-identical across GOMAXPROCS settings;
+#   - speedup (>= 8 hardware threads only): the bound–weave median must be
+#     >= 3x faster than the serial one. Below 8 threads the bound phase has
+#     little parallelism to reclaim its barrier/replay overhead, so the
+#     ratio is recorded but not gated (on 1 thread it is typically < 1).
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+GO=${GO:-go}
+OUT=${BENCH_MULTI_OUT:-"$ROOT/BENCH_multi.json"}
+COUNT=${BENCH_MULTI_COUNT:-5}
+BENCHTIME=${BENCH_MULTI_BENCHTIME:-3x}
+RAW=$(mktemp /tmp/xmem_bench_multi.XXXXXX)
+trap 'rm -f "$RAW"' EXIT
+
+THREADS=1
+if command -v nproc >/dev/null 2>&1; then
+	THREADS=$(nproc)
+fi
+
+echo "== determinism gate: TestBoundWeaveDeterminism"
+(cd "$ROOT" && $GO test -run TestBoundWeaveDeterminism -count 1 ./internal/sim/)
+
+echo "== $COUNT rounds of go test -bench 'BenchmarkCorun8' -benchtime $BENCHTIME ($THREADS hardware threads)"
+i=0
+while [ "$i" -lt "$COUNT" ]; do
+	i=$((i + 1))
+	echo "== round $i/$COUNT"
+	(cd "$ROOT" && $GO test -run xxx \
+		-bench 'BenchmarkCorun8' \
+		-benchtime "$BENCHTIME" -count 1 .) | tee -a "$RAW"
+done
+
+host="unknown"
+if [ -r /proc/cpuinfo ]; then
+	host=$(awk -F': ' '/^model name/ { print $2; exit }' /proc/cpuinfo)
+fi
+host="$host, $($GO env GOOS)/$($GO env GOARCH)"
+
+awk -v date="$(date +%F)" -v host="$host" -v threads="$THREADS" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") {
+			vals[name] = vals[name] " " $(i - 1)
+			n[name]++
+		}
+	}
+}
+function median(name,    m, arr, i, tmp, j, t) {
+	m = split(vals[name], arr, " ")
+	for (i = 2; i <= m; i++) {        # insertion sort: counts are tiny
+		t = arr[i] + 0
+		for (j = i - 1; j >= 1 && arr[j] + 0 > t; j--) arr[j + 1] = arr[j]
+		arr[j + 1] = t
+	}
+	return arr[int((m + 1) / 2)] + 0
+}
+function runs(name,    m, arr, i, s) {
+	m = split(vals[name], arr, " ")
+	s = ""
+	for (i = 1; i <= m; i++) s = s (i > 1 ? ", " : "") arr[i]
+	return s
+}
+function block(name, note,    s) {
+	s = "    \"" name "\": {\n"
+	if (note != "") s = s "      \"note\": \"" note "\",\n"
+	s = s "      \"ns_per_op\": [" runs(name) "],\n"
+	s = s "      \"median_ns_per_op\": " median(name) "\n    }"
+	return s
+}
+END {
+	seq = median("BenchmarkCorun8Seq")
+	bw = median("BenchmarkCorun8BoundWeave")
+	if (seq == 0 || bw == 0) {
+		print "bench_multi: missing benchmark results" > "/dev/stderr"
+		exit 1
+	}
+	speedup = seq / bw
+	printf "{\n"
+	printf "  \"description\": \"Bound-weave multicore speedup snapshot: an 8-core co-run of DRAM-heavy streaming workloads on the serial reference scheduler vs the bound-weave parallel scheduler (both deterministic; the parallel one byte-identical across GOMAXPROCS, re-verified by this script). The speedup gate (>=3x) applies only on hosts with >=8 hardware threads; below that the bound phase has little parallelism to reclaim its barrier and replay overhead. Regenerate with: make bench-multi.\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"host\": \"%s\",\n", host
+	printf "  \"hardware_threads\": %d,\n", threads
+	printf "  \"benchmarks\": {\n"
+	printf "%s,\n", block("BenchmarkCorun8Seq", "serial reference scheduler")
+	printf "%s\n", block("BenchmarkCorun8BoundWeave", "bound-weave parallel scheduler")
+	printf "  },\n"
+	printf "  \"summary\": {\n"
+	printf "    \"speedup_seq_over_boundweave\": %.2f,\n", speedup
+	printf "    \"speedup_gate_applied\": %s\n", (threads >= 8 ? "true" : "false")
+	printf "  }\n"
+	printf "}\n"
+	if (threads >= 8 && speedup < 3) {
+		printf "bench_multi: bound-weave speedup %.2fx < 3x on %d hardware threads\n", \
+			speedup, threads > "/dev/stderr"
+		exit 1
+	}
+}
+' "$RAW" > "$OUT"
+
+echo "== wrote $OUT"
